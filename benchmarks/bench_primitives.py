@@ -1,0 +1,99 @@
+"""E11/E12 — round complexity of the distributed building blocks.
+
+* Cole–Vishkin 3-colors rooted forests in O(log* n) rounds — the measured
+  round counts barely move while n grows by two orders of magnitude, and
+  Linial's lower bound says Omega(log* n) is necessary (so every algorithm
+  in this repository, including Theorem 1.3, inherits that floor).
+* Linial + color reduction produce a (Δ+1)-coloring in O(log* n + Δ²)
+  rounds.
+* The (k, k log n)-ruling forest of Awerbuch et al. (the engine of
+  Lemma 3.2) satisfies its separation/depth guarantees with O(k log n)
+  charged rounds.
+* 2-coloring a path, by contrast, needs Omega(n) rounds (Observation 2.4
+  certificate) — the reason Theorem 1.3 requires d >= 3.
+"""
+
+from collections import deque
+
+from repro.analysis import ExperimentRunner
+from repro.graphs.generators import classic
+from repro.lowerbounds import log_star_floor, path_two_coloring_lower_bound
+from repro.distributed import (
+    color_rooted_forest,
+    delta_plus_one_coloring,
+    ruling_forest,
+)
+
+
+def bfs_parents(graph, root):
+    parents = {root: None}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in parents:
+                parents[w] = u
+                queue.append(w)
+    return parents
+
+
+def build_table() -> ExperimentRunner:
+    runner = ExperimentRunner("E11/E12: primitives — measured rounds")
+    for n in (50, 500, 5000):
+        g = classic.path(n)
+
+        def run_cv(g=g, n=n):
+            result = color_rooted_forest(g, bfs_parents(g, 0))
+            colors = set(result.outputs.values())
+            return {"rounds": result.rounds, "colors": len(colors),
+                    "log_star_n": log_star_floor(n)}
+
+        runner.run(f"path n={n}", "Cole-Vishkin (3 colors)", run_cv)
+
+    for n in (60, 240):
+        g = classic.random_regular_graph(n, 4, seed=n)
+
+        def run_dp1(g=g):
+            result = delta_plus_one_coloring(g)
+            return {"rounds": result.rounds,
+                    "colors": len(set(result.coloring.values())),
+                    "log_star_n": log_star_floor(len(g))}
+
+        runner.run(f"4-regular n={n}", "Linial + reduction (Delta+1)", run_dp1)
+
+    for n in (100, 400):
+        g = classic.grid_2d(n // 10, 10)
+
+        def run_ruling(g=g):
+            forest = ruling_forest(g, set(g.vertices()), alpha=4)
+            return {"rounds": forest.rounds, "colors": len(forest.roots),
+                    "log_star_n": forest.beta}
+
+        runner.run(f"grid n={n}", "ruling forest (alpha=4)", run_ruling)
+
+    def run_path_lb():
+        result = path_two_coloring_lower_bound(200, rounds=20)
+        return {"rounds": result.certificate.rounds, "colors": 2, "log_star_n": 0}
+
+    runner.run("path n=200", "2-coloring lower bound (Omega(n))", run_path_lb)
+    return runner
+
+
+def test_cole_vishkin_rounds(benchmark):
+    g = classic.path(500)
+    parents = bfs_parents(g, 0)
+    result = benchmark(lambda: color_rooted_forest(g, parents))
+    assert result.finished
+
+
+def test_primitives_table(capsys):
+    runner = build_table()
+    cv_rounds = runner.metric_series("Cole-Vishkin (3 colors)", "rounds")
+    # log*-like growth: 100x more vertices costs at most a few extra rounds
+    assert cv_rounds[-1] <= cv_rounds[0] + 6
+    with capsys.disabled():
+        runner.print_table()
+
+
+if __name__ == "__main__":
+    build_table().print_table()

@@ -1,0 +1,51 @@
+"""Frequency assignment on a wireless mesh via distributed list-coloring.
+
+Scenario: sensors scattered in the plane form a planar interference graph
+(Delaunay neighbours interfere).  Each sensor is only *licensed* for some
+subset of the available radio channels (its list), and channel assignment
+has to be computed in the network itself, without shipping the whole
+topology to a coordinator — exactly the LOCAL-model list-coloring problem
+that Theorem 1.3 solves: 6 licensed channels per sensor always suffice on a
+planar interference graph, no matter how the licenses are distributed.
+
+Run with:  python examples/frequency_assignment.py
+"""
+
+import random
+
+from repro.coloring import ListAssignment, verify_list_coloring
+from repro.core import color_planar_graph
+from repro.graphs.generators import planar
+
+
+CHANNELS = [f"ch{i}" for i in range(1, 13)]  # 12 licensed channels overall
+
+
+def build_license_lists(graph, channels_per_sensor: int, seed: int) -> ListAssignment:
+    rng = random.Random(seed)
+    return ListAssignment(
+        {v: frozenset(rng.sample(CHANNELS, channels_per_sensor)) for v in graph}
+    )
+
+
+def main() -> None:
+    network = planar.delaunay_triangulation(200, seed=7)
+    licenses = build_license_lists(network, channels_per_sensor=6, seed=7)
+    print(f"interference graph: {network!r}")
+    print(f"channels per sensor: 6 out of {len(CHANNELS)} licensed channels")
+
+    result = color_planar_graph(network, lists=licenses)
+    verify_list_coloring(network, result.coloring, licenses)
+
+    usage = {}
+    for channel in result.coloring.values():
+        usage[channel] = usage.get(channel, 0) + 1
+    print(f"assignment found in {result.rounds} charged rounds")
+    print("channel usage (sensors per channel):")
+    for channel in sorted(usage):
+        print(f"  {channel}: {usage[channel]}")
+    print("no two interfering sensors share a channel: verified")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that the package can be installed in
+editable mode in fully offline environments (where build isolation cannot
+download ``wheel``):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — reproduction of "Distributed coloring in sparse graphs with fewer colors".
+
+Aboulker, Bonamy, Bousquet, Esperet (PODC 2018 / arXiv:1802.05582).
+
+The most common entry points:
+
+* :func:`repro.core.color_sparse_graph` — Theorem 1.3 (d-list-coloring of
+  graphs with ``mad <= d``);
+* :func:`repro.core.color_planar_graph` and friends — Corollary 2.3;
+* :func:`repro.core.color_bounded_arboricity_graph` — Corollary 1.4;
+* :func:`repro.core.brooks_list_coloring` / :func:`repro.core.nice_list_coloring`
+  — Corollary 2.1 / Theorem 6.1;
+* :mod:`repro.distributed` — the baselines (GPS, Barenboim–Elkin, Linial,
+  Cole–Vishkin) and the LOCAL-model building blocks;
+* :mod:`repro.lowerbounds` — the indistinguishability lower bounds
+  (Theorems 1.5, 2.5, 2.6).
+"""
+
+from repro.graphs.graph import Graph
+
+__version__ = "0.1.0"
+
+__all__ = ["Graph", "__version__"]

@@ -1,0 +1,12 @@
+"""Experiment harness and curve fitting used by the benchmarks."""
+
+from repro.analysis.fitting import PolylogFit, fit_polylog, normalized_by_polylog
+from repro.analysis.runner import ExperimentRow, ExperimentRunner
+
+__all__ = [
+    "PolylogFit",
+    "fit_polylog",
+    "normalized_by_polylog",
+    "ExperimentRow",
+    "ExperimentRunner",
+]

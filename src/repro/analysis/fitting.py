@@ -1,0 +1,56 @@
+"""Fitting round-complexity curves.
+
+The paper's claims are asymptotic (``O(d^4 log^3 n)``, ``O(log^3 n)``,
+``O(log* n)``); the experiments check the *shape* of the measured curves by
+fitting ``rounds ~ a * (log2 n)^p`` and reporting the exponent ``p``
+(ordinary least squares on the log-log transformed data), or by reporting
+the ratio ``rounds / log2(n)^3`` across the sweep (it should stay bounded).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PolylogFit", "fit_polylog", "normalized_by_polylog"]
+
+
+@dataclass(frozen=True)
+class PolylogFit:
+    """Result of fitting ``rounds = a * (log2 n)^p``."""
+
+    coefficient: float
+    exponent: float
+    residual: float
+
+    def predict(self, n: float) -> float:
+        return self.coefficient * (math.log2(max(n, 2.0)) ** self.exponent)
+
+
+def fit_polylog(ns: Sequence[float], rounds: Sequence[float]) -> PolylogFit:
+    """Least-squares fit of ``log(rounds) = log(a) + p * log(log2 n)``."""
+    if len(ns) != len(rounds) or len(ns) < 2:
+        raise ValueError("need at least two (n, rounds) pairs")
+    xs = np.array([math.log(math.log2(max(n, 2.0))) for n in ns])
+    ys = np.array([math.log(max(r, 1.0)) for r in rounds])
+    design = np.vstack([np.ones_like(xs), xs]).T
+    solution, residuals, _rank, _sv = np.linalg.lstsq(design, ys, rcond=None)
+    intercept, slope = solution
+    residual = float(residuals[0]) if len(residuals) else 0.0
+    return PolylogFit(
+        coefficient=float(math.exp(intercept)),
+        exponent=float(slope),
+        residual=residual,
+    )
+
+
+def normalized_by_polylog(
+    ns: Sequence[float], rounds: Sequence[float], power: int = 3
+) -> list[float]:
+    """``rounds / (log2 n)^power`` — should stay bounded if the claim holds."""
+    return [
+        r / (math.log2(max(n, 2.0)) ** power) for n, r in zip(ns, rounds)
+    ]

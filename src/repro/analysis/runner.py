@@ -1,0 +1,107 @@
+"""Experiment harness: parameter sweeps producing rows for the report tables.
+
+The benchmarks of this repository (one per experiment in EXPERIMENTS.md) all
+follow the same shape: generate a family of graphs over a parameter sweep,
+run one or more algorithms on each instance, verify the outputs, and print a
+table of colors / rounds / sizes.  :class:`ExperimentRunner` centralizes the
+bookkeeping so each benchmark file stays a thin declaration of its sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentRow", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentRow:
+    """One (instance, algorithm) measurement."""
+
+    instance: str
+    algorithm: str
+    metrics: dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+class ExperimentRunner:
+    """Collects measurement rows and renders them as a text table."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.rows: list[ExperimentRow] = []
+
+    def run(
+        self,
+        instance: str,
+        algorithm: str,
+        fn: Callable[[], Mapping[str, Any]],
+    ) -> ExperimentRow:
+        """Execute ``fn`` (returning a metric mapping) and record a row."""
+        start = time.perf_counter()
+        metrics = dict(fn())
+        elapsed = time.perf_counter() - start
+        row = ExperimentRow(
+            instance=instance, algorithm=algorithm, metrics=metrics, seconds=elapsed
+        )
+        self.rows.append(row)
+        return row
+
+    def add(self, instance: str, algorithm: str, **metrics: Any) -> ExperimentRow:
+        row = ExperimentRow(instance=instance, algorithm=algorithm, metrics=metrics)
+        self.rows.append(row)
+        return row
+
+    def metric_columns(self) -> list[str]:
+        columns: list[str] = []
+        for row in self.rows:
+            for key in row.metrics:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def to_table(self) -> str:
+        """Render all rows as an aligned text table."""
+        columns = ["instance", "algorithm", *self.metric_columns(), "seconds"]
+        data: list[list[str]] = [columns]
+        for row in self.rows:
+            data.append(
+                [
+                    row.instance,
+                    row.algorithm,
+                    *[_fmt(row.metrics.get(c, "")) for c in self.metric_columns()],
+                    f"{row.seconds:.3f}",
+                ]
+            )
+        widths = [max(len(line[i]) for line in data) for i in range(len(columns))]
+        lines = []
+        for index, line in enumerate(data):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+            if index == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def print_table(self) -> None:
+        print(f"\n== {self.name} ==")
+        print(self.to_table())
+
+    def metric_series(self, algorithm: str, metric: str) -> list[Any]:
+        return [
+            row.metrics.get(metric)
+            for row in self.rows
+            if row.algorithm == algorithm and metric in row.metrics
+        ]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sweep(values: Iterable[Any]) -> list[Any]:
+    """Convenience helper so benchmark files read declaratively."""
+    return list(values)

@@ -1,0 +1,46 @@
+"""Sequential coloring toolkit: list assignments, greedy/exact solvers, Theorem 1.1."""
+
+from repro.coloring.assignment import (
+    Color,
+    ListAssignment,
+    random_lists,
+    uniform_lists,
+)
+from repro.coloring.borodin_ert import degree_list_coloring, extend_partial_coloring
+from repro.coloring.exact import chromatic_number, is_k_colorable, list_coloring_search
+from repro.coloring.greedy import (
+    degeneracy_greedy_coloring,
+    dsatur_coloring,
+    greedy_coloring,
+    greedy_list_coloring,
+)
+from repro.coloring.verification import (
+    is_complete,
+    is_proper_coloring,
+    number_of_colors,
+    respects_lists,
+    verify_coloring,
+    verify_list_coloring,
+)
+
+__all__ = [
+    "Color",
+    "ListAssignment",
+    "random_lists",
+    "uniform_lists",
+    "degree_list_coloring",
+    "extend_partial_coloring",
+    "chromatic_number",
+    "is_k_colorable",
+    "list_coloring_search",
+    "degeneracy_greedy_coloring",
+    "dsatur_coloring",
+    "greedy_coloring",
+    "greedy_list_coloring",
+    "is_complete",
+    "is_proper_coloring",
+    "number_of_colors",
+    "respects_lists",
+    "verify_coloring",
+    "verify_list_coloring",
+]

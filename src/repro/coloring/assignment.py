@@ -1,0 +1,167 @@
+"""List assignments and colorings.
+
+The paper works in the *list-coloring* setting: every vertex ``v`` owns a
+list ``L(v)`` of allowed colors and must pick its color from its own list.
+A ``k``-list-assignment gives every vertex at least ``k`` colors.  Ordinary
+coloring is the special case where all lists are ``{1, ..., k}``.
+
+:class:`ListAssignment` is an immutable-by-convention mapping from vertices
+to color sets with helpers for the operations the algorithms need
+constantly: building uniform or random assignments, removing the colors of
+already-colored neighbours (Observation 5.1), restricting to a vertex
+subset, and validating sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+from typing import Hashable
+
+from repro.errors import ListAssignmentError
+from repro.graphs.graph import Graph, Vertex
+
+Color = Hashable
+
+__all__ = ["Color", "ListAssignment", "uniform_lists", "random_lists"]
+
+
+class ListAssignment:
+    """A mapping from vertices to finite sets of allowed colors."""
+
+    __slots__ = ("_lists",)
+
+    def __init__(self, lists: Mapping[Vertex, Iterable[Color]]):
+        self._lists: dict[Vertex, frozenset[Color]] = {
+            v: frozenset(colors) for v, colors in lists.items()
+        }
+
+    # -- access ---------------------------------------------------------
+    def __getitem__(self, v: Vertex) -> frozenset[Color]:
+        try:
+            return self._lists[v]
+        except KeyError as exc:
+            raise ListAssignmentError(f"vertex {v!r} has no list") from exc
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._lists
+
+    def __iter__(self):
+        return iter(self._lists)
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def get(self, v: Vertex, default: frozenset[Color] = frozenset()) -> frozenset[Color]:
+        return self._lists.get(v, default)
+
+    def vertices(self) -> list[Vertex]:
+        return list(self._lists)
+
+    def as_dict(self) -> dict[Vertex, frozenset[Color]]:
+        return dict(self._lists)
+
+    def minimum_size(self) -> int:
+        if not self._lists:
+            return 0
+        return min(len(colors) for colors in self._lists.values())
+
+    def palette(self) -> frozenset[Color]:
+        """The union of all lists."""
+        result: set[Color] = set()
+        for colors in self._lists.values():
+            result |= colors
+        return frozenset(result)
+
+    # -- derivation -----------------------------------------------------
+    def restrict(self, vertices: Iterable[Vertex]) -> "ListAssignment":
+        """The assignment restricted to the given vertices (missing ones dropped)."""
+        keep = set(vertices)
+        return ListAssignment({v: c for v, c in self._lists.items() if v in keep})
+
+    def without_colors(
+        self, removals: Mapping[Vertex, Iterable[Color]]
+    ) -> "ListAssignment":
+        """Remove, per vertex, the given colors (e.g. colors of colored neighbours)."""
+        new = dict(self._lists)
+        for v, colors in removals.items():
+            if v in new:
+                new[v] = new[v] - frozenset(colors)
+        return ListAssignment(new)
+
+    def pruned_by_coloring(
+        self, graph: Graph, coloring: Mapping[Vertex, Color]
+    ) -> "ListAssignment":
+        """Remove from each uncolored vertex the colors of its colored neighbours.
+
+        This is Observation 5.1: if ``v`` has ``|L(v)| >= d`` and degree at
+        most ``d`` in ``graph``, then after the pruning its list is at least
+        as large as its number of uncolored neighbours.
+        """
+        new: dict[Vertex, frozenset[Color]] = {}
+        for v, colors in self._lists.items():
+            if v in coloring:
+                continue
+            used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+            new[v] = colors - used
+        return ListAssignment(new)
+
+    def truncated(self, size: int) -> "ListAssignment":
+        """Keep only ``size`` colors per list (deterministically, by sorted repr).
+
+        Used to normalise lists to exactly the guaranteed size, which keeps
+        the constructive Borodin–ERT case analysis tight.
+        """
+        new = {}
+        for v, colors in self._lists.items():
+            ordered = sorted(colors, key=repr)
+            new[v] = frozenset(ordered[: max(size, 0)]) if len(ordered) > size else colors
+        return ListAssignment(new)
+
+    # -- validation -----------------------------------------------------
+    def require_minimum(self, graph: Graph, k: int) -> None:
+        """Raise unless every vertex of ``graph`` has a list of size >= k."""
+        for v in graph:
+            if len(self.get(v)) < k:
+                raise ListAssignmentError(
+                    f"vertex {v!r} has a list of size {len(self.get(v))} < {k}"
+                )
+
+    def covers(self, graph: Graph) -> bool:
+        """Whether every vertex of ``graph`` has a (possibly empty) list."""
+        return all(v in self._lists for v in graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = sorted(len(c) for c in self._lists.values())
+        smallest = sizes[0] if sizes else 0
+        return f"<ListAssignment |V|={len(self._lists)} min|L|={smallest}>"
+
+
+def uniform_lists(graph: Graph, k: int, palette: Iterable[Color] | None = None) -> ListAssignment:
+    """Every vertex gets the same list ``{1, ..., k}`` (or the given palette)."""
+    colors = frozenset(palette) if palette is not None else frozenset(range(1, k + 1))
+    if len(colors) < k:
+        raise ListAssignmentError(f"palette has {len(colors)} colors, need {k}")
+    return ListAssignment({v: colors for v in graph})
+
+
+def random_lists(
+    graph: Graph,
+    k: int,
+    palette_size: int | None = None,
+    seed: int | None = None,
+) -> ListAssignment:
+    """Every vertex gets ``k`` colors drawn at random from a shared palette.
+
+    ``palette_size`` defaults to ``2 k``, which makes lists overlap enough
+    for the instances to be interesting but not identical.
+    """
+    if palette_size is None:
+        palette_size = 2 * k
+    if palette_size < k:
+        raise ListAssignmentError("palette_size must be at least k")
+    rng = random.Random(seed)
+    palette = list(range(1, palette_size + 1))
+    return ListAssignment(
+        {v: frozenset(rng.sample(palette, k)) for v in graph}
+    )

@@ -1,0 +1,73 @@
+"""Verification of (list-)colorings.
+
+Every algorithm in the library is checked against these predicates in the
+test suite and at the end of each benchmark run: a coloring is accepted only
+if it is *complete* (every vertex colored), *proper* (no monochromatic
+edge) and, in the list setting, *respects the lists*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.coloring.assignment import Color, ListAssignment
+from repro.errors import ColoringError
+from repro.graphs.graph import Graph, Vertex
+
+__all__ = [
+    "is_proper_coloring",
+    "respects_lists",
+    "is_complete",
+    "verify_coloring",
+    "verify_list_coloring",
+    "number_of_colors",
+]
+
+
+def is_complete(graph: Graph, coloring: Mapping[Vertex, Color]) -> bool:
+    """Whether every vertex of ``graph`` has a color."""
+    return all(v in coloring for v in graph)
+
+
+def is_proper_coloring(graph: Graph, coloring: Mapping[Vertex, Color]) -> bool:
+    """Whether no edge of ``graph`` is monochromatic (uncolored vertices ignored)."""
+    for u, v in graph.edges():
+        if u in coloring and v in coloring and coloring[u] == coloring[v]:
+            return False
+    return True
+
+
+def respects_lists(
+    coloring: Mapping[Vertex, Color], lists: ListAssignment
+) -> bool:
+    """Whether every colored vertex uses a color from its own list."""
+    return all(color in lists.get(v) for v, color in coloring.items() if v in lists)
+
+
+def number_of_colors(coloring: Mapping[Vertex, Color]) -> int:
+    """The number of distinct colors used."""
+    return len(set(coloring.values()))
+
+
+def verify_coloring(graph: Graph, coloring: Mapping[Vertex, Color]) -> None:
+    """Raise :class:`ColoringError` unless ``coloring`` is complete and proper."""
+    if not is_complete(graph, coloring):
+        missing = [v for v in graph if v not in coloring][:5]
+        raise ColoringError(f"coloring is incomplete; e.g. missing {missing!r}")
+    for u, v in graph.edges():
+        if coloring[u] == coloring[v]:
+            raise ColoringError(
+                f"edge ({u!r}, {v!r}) is monochromatic with color {coloring[u]!r}"
+            )
+
+
+def verify_list_coloring(
+    graph: Graph, coloring: Mapping[Vertex, Color], lists: ListAssignment
+) -> None:
+    """Raise unless the coloring is complete, proper, and within the lists."""
+    verify_coloring(graph, coloring)
+    for v, color in coloring.items():
+        if v in lists and color not in lists[v]:
+            raise ColoringError(
+                f"vertex {v!r} uses color {color!r} outside its list {sorted(map(repr, lists[v]))}"
+            )

@@ -1,0 +1,50 @@
+"""The paper's contribution: Theorem 1.3 and its corollaries."""
+
+from repro.core.arboricity_coloring import color_bounded_arboricity_graph
+from repro.core.brooks import (
+    NiceListColoringResult,
+    brooks_list_coloring,
+    is_nice_list_assignment,
+    nice_list_coloring,
+)
+from repro.core.extension import ExtensionReport, extend_coloring_to_happy_set
+from repro.core.happy import (
+    VertexClassification,
+    classify_vertices,
+    default_rich_ball_radius,
+    paper_radius_constant,
+)
+from repro.core.peeling import PeelingLayer, PeelingResult, peel_happy_layers
+from repro.core.planar import (
+    color_high_girth_planar_graph,
+    color_planar_graph,
+    color_triangle_free_planar_graph,
+    planar_color_budget,
+)
+from repro.core.sparse_coloring import SparseColoringResult, color_sparse_graph
+from repro.core.surfaces import color_embedded_graph, genus_color_budget
+
+__all__ = [
+    "color_bounded_arboricity_graph",
+    "NiceListColoringResult",
+    "brooks_list_coloring",
+    "is_nice_list_assignment",
+    "nice_list_coloring",
+    "ExtensionReport",
+    "extend_coloring_to_happy_set",
+    "VertexClassification",
+    "classify_vertices",
+    "default_rich_ball_radius",
+    "paper_radius_constant",
+    "PeelingLayer",
+    "PeelingResult",
+    "peel_happy_layers",
+    "color_high_girth_planar_graph",
+    "color_planar_graph",
+    "color_triangle_free_planar_graph",
+    "planar_color_budget",
+    "SparseColoringResult",
+    "color_sparse_graph",
+    "color_embedded_graph",
+    "genus_color_budget",
+]

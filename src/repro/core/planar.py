@@ -1,0 +1,95 @@
+"""Corollary 2.3: coloring planar graphs with 6, 4 or 3 (listed) colors.
+
+By Proposition 2.2 (a consequence of Euler's formula), an n-vertex planar
+graph of girth at least ``g`` has maximum average degree less than
+``2g / (g - 2)``:
+
+* every planar graph (``g >= 3``) has ``mad < 6``            → 6 colors,
+* every triangle-free planar graph (``g >= 4``) has ``mad < 4`` → 4 colors,
+* every planar graph of girth at least 6 has ``mad < 3``      → 3 colors...
+
+... except that Theorem 1.3 needs ``d >= 3``, so the third item also uses
+``d = 3``.  None of the three families can contain a ``(d+1)``-clique
+(``K_7`` and ``K_5`` are not planar, ``K_4`` contains a triangle), so the
+algorithm always returns a coloring, in ``O(log^3 n)`` rounds.
+"""
+
+from __future__ import annotations
+
+from repro.coloring.assignment import ListAssignment
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.properties.girth import girth, has_triangle
+from repro.graphs.properties.planarity import is_planar
+from repro.core.sparse_coloring import SparseColoringResult, color_sparse_graph
+
+__all__ = [
+    "color_planar_graph",
+    "color_triangle_free_planar_graph",
+    "color_high_girth_planar_graph",
+    "planar_color_budget",
+]
+
+
+def planar_color_budget(graph: Graph) -> int:
+    """The number of colors Corollary 2.3 guarantees for this planar graph.
+
+    6 in general, 4 for triangle-free graphs, 3 for girth at least 6.
+    """
+    if not has_triangle(graph):
+        g = girth(graph)
+        if g >= 6:
+            return 3
+        return 4
+    return 6
+
+
+def _check_planarity(graph: Graph, check: bool) -> None:
+    if check and not is_planar(graph):
+        raise GraphError("the input graph is not planar")
+
+
+def color_planar_graph(
+    graph: Graph,
+    lists: ListAssignment | None = None,
+    radius: int | None = None,
+    verify: bool = True,
+    check_planarity: bool = False,
+) -> SparseColoringResult:
+    """6-(list-)color a planar graph in polylog(n) charged rounds."""
+    _check_planarity(graph, check_planarity)
+    return color_sparse_graph(
+        graph, d=6, lists=lists, radius=radius, verify=verify, clique_check=True
+    )
+
+
+def color_triangle_free_planar_graph(
+    graph: Graph,
+    lists: ListAssignment | None = None,
+    radius: int | None = None,
+    verify: bool = True,
+    check_planarity: bool = False,
+) -> SparseColoringResult:
+    """4-(list-)color a triangle-free planar graph."""
+    _check_planarity(graph, check_planarity)
+    if check_planarity and has_triangle(graph):
+        raise GraphError("the input graph contains a triangle")
+    return color_sparse_graph(
+        graph, d=4, lists=lists, radius=radius, verify=verify, clique_check=True
+    )
+
+
+def color_high_girth_planar_graph(
+    graph: Graph,
+    lists: ListAssignment | None = None,
+    radius: int | None = None,
+    verify: bool = True,
+    check_planarity: bool = False,
+) -> SparseColoringResult:
+    """3-(list-)color a planar graph of girth at least 6."""
+    _check_planarity(graph, check_planarity)
+    if check_planarity and girth(graph) < 6:
+        raise GraphError("the input graph has girth smaller than 6")
+    return color_sparse_graph(
+        graph, d=3, lists=lists, radius=radius, verify=verify, clique_check=True
+    )

@@ -1,0 +1,53 @@
+"""Distributed primitives and baseline algorithms (LOCAL model)."""
+
+from repro.distributed.barenboim_elkin import (
+    BarenboimElkinResult,
+    barenboim_elkin_coloring,
+)
+from repro.distributed.cole_vishkin import (
+    ColeVishkinForestColoring,
+    cole_vishkin_iterations,
+    color_rooted_forest,
+)
+from repro.distributed.forest_decomposition import (
+    HPartition,
+    h_partition,
+    orientation_from_partition,
+)
+from repro.distributed.gps import GPSResult, gps_coloring, peel_low_degree_layers
+from repro.distributed.greedy_baseline import (
+    GreedyLocalMaximaAlgorithm,
+    greedy_distributed_coloring,
+)
+from repro.distributed.linial import (
+    ColorReductionAlgorithm,
+    DistributedColoringResult,
+    LinialColoringAlgorithm,
+    delta_plus_one_coloring,
+    linial_schedule,
+)
+from repro.distributed.ruling import RulingForest, ruling_forest, ruling_set
+
+__all__ = [
+    "BarenboimElkinResult",
+    "barenboim_elkin_coloring",
+    "ColeVishkinForestColoring",
+    "cole_vishkin_iterations",
+    "color_rooted_forest",
+    "HPartition",
+    "h_partition",
+    "orientation_from_partition",
+    "GPSResult",
+    "gps_coloring",
+    "peel_low_degree_layers",
+    "GreedyLocalMaximaAlgorithm",
+    "greedy_distributed_coloring",
+    "ColorReductionAlgorithm",
+    "DistributedColoringResult",
+    "LinialColoringAlgorithm",
+    "delta_plus_one_coloring",
+    "linial_schedule",
+    "RulingForest",
+    "ruling_forest",
+    "ruling_set",
+]

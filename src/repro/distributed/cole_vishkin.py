@@ -1,0 +1,185 @@
+"""Cole–Vishkin 3-coloring of rooted forests in O(log* n) rounds.
+
+This is the classical symmetry-breaking primitive (used by
+Goldberg–Plotkin–Shannon and by every forest-decomposition-based coloring
+algorithm).  Each node knows the identifier of its parent (roots know they
+are roots); the algorithm first reduces the colors to {0,...,5} by the
+iterated bit trick and then removes colors 5, 4 and 3 by shift-down +
+recolor steps.
+
+The number of bit-reduction iterations is computed from ``n`` by every node
+identically (they all know ``n``), so no global coordination is needed for
+termination.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graphs.graph import Graph, Vertex
+from repro.local.node import NodeAlgorithm, NodeContext
+from repro.local.simulator import SimulationResult, run_node_algorithm
+
+__all__ = [
+    "ColeVishkinForestColoring",
+    "color_rooted_forest",
+    "cole_vishkin_iterations",
+]
+
+
+def _bit_length_colors(value: int) -> int:
+    return max(value.bit_length(), 1)
+
+
+def cole_vishkin_iterations(n: int) -> int:
+    """Number of bit-reduction iterations needed to reach colors < 6 from IDs in [n].
+
+    One Cole–Vishkin step maps a proper coloring with colors in ``[0, m)``
+    (``b = bit_length(m-1)`` bits) to a proper coloring with colors in
+    ``[0, 2b)``; iterating from ``m = n + 1`` until the bound reaches 6
+    takes ``O(log* n)`` steps.
+    """
+    colors = max(n + 1, 2)
+    iterations = 0
+    while colors > 6:
+        colors = 2 * _bit_length_colors(colors - 1)
+        iterations += 1
+        if iterations > 64:  # defensive: log* of anything representable is tiny
+            break
+    return iterations + 2  # two extra iterations to absorb rounding slack
+
+
+def _cole_vishkin_step(own: int, parent: int) -> int:
+    """One CV step: index of the lowest differing bit, concatenated with that bit."""
+    diff = own ^ parent
+    index = (diff & -diff).bit_length() - 1
+    bit = (own >> index) & 1
+    return 2 * index + bit
+
+
+class ColeVishkinForestColoring(NodeAlgorithm):
+    """Node program: 3-color a rooted forest.
+
+    Input (per node): the identifier of its parent, or ``None`` for roots.
+    Output: a color in ``{0, 1, 2}``.
+
+    Protocol:
+      round 1           — neighbours exchange identifiers (port discovery);
+      rounds 2..T+1     — iterated Cole–Vishkin reduction to colors < 6;
+      then, for c in (5, 4, 3): two rounds each — a shift-down round (every
+      node adopts its parent's color, roots rotate their own) followed by a
+      recolor round in which nodes holding color ``c`` pick a free color
+      from {0, 1, 2} (their parent and all their children use at most two
+      distinct colors after the shift-down).
+    """
+
+    def initialize(self, context: NodeContext) -> None:
+        super().initialize(context)
+        self.parent_id: int | None = context.input
+        self.color: int = context.identifier
+        self.port_ids: dict[int, int] = {}
+        self.parent_port: int | None = None
+        self.neighbor_colors: dict[int, int] = {}
+        self.cv_iterations = cole_vishkin_iterations(context.n)
+        self.phase = "discover"
+        self.cv_done = 0
+        self.reduction_target = 5
+        self.reduction_stage = "shift"
+        self.done = False
+
+    # -- helpers --------------------------------------------------------
+    def _parent_color(self) -> int | None:
+        if self.parent_port is None:
+            return None
+        return self.neighbor_colors.get(self.parent_port)
+
+    # -- protocol -------------------------------------------------------
+    def send(self, round_number: int) -> dict[int, Any]:
+        if self.phase == "discover":
+            return {
+                port: ("id", self.context.identifier)
+                for port in range(self.context.degree)
+            }
+        return {
+            port: ("color", self.color) for port in range(self.context.degree)
+        }
+
+    def receive(self, round_number: int, messages: dict[int, Any]) -> None:
+        if self.phase == "discover":
+            for port, (_, identifier) in messages.items():
+                self.port_ids[port] = identifier
+                if self.parent_id is not None and identifier == self.parent_id:
+                    self.parent_port = port
+            self.phase = "cv"
+            return
+
+        for port, (_, color) in messages.items():
+            self.neighbor_colors[port] = color
+
+        if self.phase == "cv":
+            parent_color = self._parent_color()
+            if parent_color is None:
+                # roots pretend their parent has a color differing in bit 0
+                parent_color = self.color ^ 1
+            self.color = _cole_vishkin_step(self.color, parent_color)
+            self.cv_done += 1
+            if self.cv_done >= self.cv_iterations:
+                self.phase = "reduce"
+                self.reduction_stage = "shift"
+            return
+
+        if self.phase == "reduce":
+            if self.reduction_stage == "shift":
+                parent_color = self._parent_color()
+                if parent_color is None:
+                    # roots rotate within {0,1,2,...}: pick a different small color
+                    self.color = (self.color + 1) % 3 if self.color < 3 else 0
+                else:
+                    self.color = parent_color
+                self.reduction_stage = "recolor"
+                return
+            # recolor stage: nodes with the target color pick a free color < 3
+            if self.color == self.reduction_target:
+                used = set(self.neighbor_colors.values())
+                for candidate in (0, 1, 2):
+                    if candidate not in used:
+                        self.color = candidate
+                        break
+            if self.reduction_target > 3:
+                self.reduction_target -= 1
+                self.reduction_stage = "shift"
+            else:
+                self.done = True
+                self.phase = "finished"
+
+    def is_finished(self) -> bool:
+        return self.done
+
+    def result(self) -> int:
+        return self.color
+
+
+def color_rooted_forest(
+    graph: Graph, parents: dict[Vertex, Vertex | None]
+) -> SimulationResult:
+    """Run Cole–Vishkin on a forest given the parent pointer of every vertex.
+
+    ``parents[v]`` is the parent vertex of ``v`` or ``None`` for roots; the
+    forest must be consistent with ``graph`` (every non-root's parent is a
+    neighbour).  Returns the simulation result; outputs are colors in
+    ``{0, 1, 2}``.
+    """
+    from repro.local.network import Network
+
+    network = Network(graph)
+    inputs: dict[Vertex, int | None] = {}
+    for v in graph:
+        parent = parents.get(v)
+        inputs[v] = None if parent is None else network.identifier_of[parent]
+    simulator_result = run_node_algorithm(
+        graph,
+        ColeVishkinForestColoring,
+        inputs=inputs,
+        max_rounds=10 * cole_vishkin_iterations(graph.number_of_vertices()) + 30,
+    )
+    return simulator_result

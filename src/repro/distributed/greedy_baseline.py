@@ -1,0 +1,83 @@
+"""Distributed greedy (Δ+1)-coloring baseline ("local maxima pick first").
+
+In every round, each uncolored vertex whose identifier is the largest among
+its uncolored neighbours picks the smallest color of ``{1..Δ+1}`` not used
+by its colored neighbours.  The round complexity is the length of the
+longest decreasing identifier path — O(n) in the worst case and O(log n) in
+expectation for random identifiers — which makes it a useful "no cleverness"
+baseline to compare the structured algorithms against.  It is implemented
+as a genuine node program on the synchronous simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graphs.graph import Graph, Vertex
+from repro.local.node import NodeAlgorithm, NodeContext
+from repro.local.simulator import run_node_algorithm
+from repro.distributed.linial import DistributedColoringResult
+
+__all__ = ["GreedyLocalMaximaAlgorithm", "greedy_distributed_coloring"]
+
+
+class GreedyLocalMaximaAlgorithm(NodeAlgorithm):
+    """Node program for the local-maxima greedy coloring.
+
+    Input (per node): the maximum degree Δ (int).  Output: a color in
+    ``{1..Δ+1}``.
+    """
+
+    def initialize(self, context: NodeContext) -> None:
+        super().initialize(context)
+        self.max_degree = int(context.input)
+        self.color: int | None = None
+        self.neighbor_state: dict[int, tuple[int, int | None]] = {}
+
+    def send(self, round_number: int) -> dict[int, Any]:
+        payload = (self.context.identifier, self.color)
+        return {port: payload for port in range(self.context.degree)}
+
+    def receive(self, round_number: int, messages: dict[int, Any]) -> None:
+        self.neighbor_state = dict(messages)
+        if self.color is not None:
+            return
+        uncolored_neighbor_ids = [
+            identifier
+            for identifier, color in self.neighbor_state.values()
+            if color is None
+        ]
+        if any(identifier > self.context.identifier for identifier in uncolored_neighbor_ids):
+            return
+        used = {
+            color for _id, color in self.neighbor_state.values() if color is not None
+        }
+        for candidate in range(1, self.max_degree + 2):
+            if candidate not in used:
+                self.color = candidate
+                return
+
+    def is_finished(self) -> bool:
+        return self.color is not None
+
+    def result(self) -> int | None:
+        return self.color
+
+
+def greedy_distributed_coloring(graph: Graph) -> DistributedColoringResult:
+    """Run the local-maxima greedy baseline and return coloring + rounds."""
+    if graph.number_of_vertices() == 0:
+        return DistributedColoringResult({}, 0, 0, 1)
+    delta = max(1, graph.max_degree())
+    run = run_node_algorithm(
+        graph,
+        GreedyLocalMaximaAlgorithm,
+        inputs={v: delta for v in graph},
+        max_rounds=graph.number_of_vertices() + 2,
+    )
+    return DistributedColoringResult(
+        coloring=dict(run.outputs),
+        rounds=run.rounds,
+        messages=run.messages_sent,
+        palette_size=delta + 1,
+    )

@@ -1,0 +1,5 @@
+"""Graph substrate: data structure, generators and structural properties."""
+
+from repro.graphs.graph import Edge, Graph, Vertex
+
+__all__ = ["Graph", "Vertex", "Edge"]

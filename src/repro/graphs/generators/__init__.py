@@ -1,0 +1,5 @@
+"""Graph generators: classic families, planar graphs, sparse graphs, surfaces."""
+
+from repro.graphs.generators import classic, planar, sparse, surfaces
+
+__all__ = ["classic", "planar", "sparse", "surfaces"]

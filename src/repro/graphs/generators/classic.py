@@ -1,0 +1,304 @@
+"""Classic graph families: paths, cycles, trees, cliques, Gallai trees, ...
+
+These generators provide the simplest inputs for tests and benchmarks, and
+also the constructions that the paper uses as running examples:
+
+* Gallai trees (Figure 1 of the paper): connected graphs in which every
+  block is a clique or an odd cycle.  These are exactly the connected graphs
+  that are *not* degree-choosable (Theorem 1.1), so they are the adversarial
+  inputs for the happy-vertex machinery.
+* paths and trees: Linial's lower bounds (the ``a = 1`` exception in
+  Corollary 1.4) are about these.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Sequence
+
+from repro.errors import GeneratorError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "empty_graph",
+    "path",
+    "cycle",
+    "complete_graph",
+    "complete_bipartite",
+    "star",
+    "random_tree",
+    "complete_binary_tree",
+    "grid_2d",
+    "random_graph_gnp",
+    "random_regular_graph",
+    "gallai_tree",
+    "random_gallai_tree",
+    "book_of_cliques",
+    "theta_graph",
+]
+
+
+def empty_graph(n: int) -> Graph:
+    """Graph on ``n`` isolated vertices ``0..n-1``."""
+    return Graph(vertices=range(n), name=f"empty_{n}")
+
+
+def path(n: int) -> Graph:
+    """Path on ``n`` vertices ``0..n-1``."""
+    if n < 0:
+        raise GeneratorError("n must be non-negative")
+    g = Graph(vertices=range(n), name=f"path_{n}")
+    g.add_edges((i, i + 1) for i in range(n - 1))
+    return g
+
+
+def cycle(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise GeneratorError("a cycle needs at least 3 vertices")
+    g = path(n)
+    g.add_edge(n - 1, 0)
+    g.name = f"cycle_{n}"
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """Clique ``K_n``."""
+    g = Graph(vertices=range(n), name=f"K_{n}")
+    g.add_edges(itertools.combinations(range(n), 2))
+    return g
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """Complete bipartite graph ``K_{a,b}`` with parts ``0..a-1`` / ``a..a+b-1``."""
+    g = Graph(vertices=range(a + b), name=f"K_{a}_{b}")
+    g.add_edges((i, a + j) for i in range(a) for j in range(b))
+    return g
+
+
+def star(n_leaves: int) -> Graph:
+    """Star with centre ``0`` and ``n_leaves`` leaves."""
+    g = Graph(vertices=range(n_leaves + 1), name=f"star_{n_leaves}")
+    g.add_edges((0, i) for i in range(1, n_leaves + 1))
+    return g
+
+
+def random_tree(n: int, seed: int | None = None) -> Graph:
+    """Uniformly random labelled tree on ``n`` vertices (Prüfer sequence)."""
+    if n <= 0:
+        raise GeneratorError("n must be positive")
+    if n == 1:
+        return Graph(vertices=[0], name="tree_1")
+    if n == 2:
+        return Graph(vertices=[0, 1], edges=[(0, 1)], name="tree_2")
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in prufer:
+        degree[v] += 1
+    g = Graph(vertices=range(n), name=f"tree_{n}")
+    for v in prufer:
+        for leaf in range(n):
+            if degree[leaf] == 1:
+                g.add_edge(leaf, v)
+                degree[leaf] -= 1
+                degree[v] -= 1
+                break
+    last = [v for v in range(n) if degree[v] == 1]
+    g.add_edge(last[0], last[1])
+    return g
+
+
+def complete_binary_tree(depth: int) -> Graph:
+    """Complete binary tree of the given depth (root = vertex 0)."""
+    n = 2 ** (depth + 1) - 1
+    g = Graph(vertices=range(n), name=f"binary_tree_d{depth}")
+    for v in range(1, n):
+        g.add_edge(v, (v - 1) // 2)
+    return g
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """Planar rectangular grid; vertices are ``(row, col)`` pairs."""
+    g = Graph(name=f"grid_{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            g.add_vertex((r, c))
+            if r > 0:
+                g.add_edge((r, c), (r - 1, c))
+            if c > 0:
+                g.add_edge((r, c), (r, c - 1))
+    g.metadata["planar"] = True
+    return g
+
+
+def random_graph_gnp(n: int, p: float, seed: int | None = None) -> Graph:
+    """Erdős–Rényi ``G(n, p)``."""
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n), name=f"gnp_{n}_{p}")
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+def random_regular_graph(n: int, d: int, seed: int | None = None) -> Graph:
+    """Random ``d``-regular simple graph via the configuration model.
+
+    Retries until a simple perfect matching of half-edges is found; for the
+    small degrees used in this library (d <= 10) this converges quickly.
+    """
+    if n * d % 2 != 0:
+        raise GeneratorError("n*d must be even for a d-regular graph")
+    if d >= n:
+        raise GeneratorError("need d < n")
+    rng = random.Random(seed)
+    for _ in range(2000):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        edges = set()
+        ok = True
+        for i in range(0, len(stubs), 2):
+            u, v = stubs[i], stubs[i + 1]
+            if u == v or (min(u, v), max(u, v)) in edges:
+                ok = False
+                break
+            edges.add((min(u, v), max(u, v)))
+        if ok:
+            g = Graph(vertices=range(n), edges=edges, name=f"regular_{n}_{d}")
+            return g
+    raise GeneratorError(
+        f"failed to sample a simple {d}-regular graph on {n} vertices"
+    )
+
+
+def gallai_tree(block_specs: Sequence[tuple[str, int]]) -> Graph:
+    """Build a Gallai tree from a chain of block specifications.
+
+    Each block is attached to the previous block through a single shared
+    (cut) vertex, which produces a "caterpillar" of blocks — enough to cover
+    every local shape used in tests (Figure 1 of the paper shows such a
+    graph with both clique blocks and odd-cycle blocks).
+
+    Parameters
+    ----------
+    block_specs:
+        Sequence of ``(kind, size)`` pairs, where ``kind`` is either
+        ``"clique"`` or ``"odd_cycle"``.  Clique blocks need ``size >= 2``
+        and odd-cycle blocks need an odd ``size >= 3``.
+    """
+    g = Graph(name="gallai_tree")
+    next_vertex = 0
+    attach: int | None = None
+    for kind, size in block_specs:
+        if kind == "clique":
+            if size < 2:
+                raise GeneratorError("clique blocks need size >= 2")
+        elif kind == "odd_cycle":
+            if size < 3 or size % 2 == 0:
+                raise GeneratorError("odd_cycle blocks need odd size >= 3")
+        else:
+            raise GeneratorError(f"unknown block kind {kind!r}")
+        block: list[int] = []
+        if attach is not None:
+            block.append(attach)
+        while len(block) < size:
+            block.append(next_vertex)
+            next_vertex += 1
+        if kind == "clique":
+            g.add_edges(itertools.combinations(block, 2))
+        else:
+            for i in range(size):
+                g.add_edge(block[i], block[(i + 1) % size])
+        attach = block[-1]
+    if next_vertex == 0 and attach is None:
+        g.add_vertex(0)
+    return g
+
+
+def random_gallai_tree(
+    n_blocks: int,
+    max_block_size: int = 5,
+    seed: int | None = None,
+) -> Graph:
+    """Random Gallai tree: blocks are cliques or odd cycles glued at cut vertices.
+
+    Unlike :func:`gallai_tree`, the attachment vertex of each new block is
+    chosen uniformly among all existing vertices, producing genuinely
+    tree-like block structures.
+    """
+    rng = random.Random(seed)
+    g = Graph(name="random_gallai_tree")
+    g.add_vertex(0)
+    next_vertex = 1
+    for _ in range(n_blocks):
+        attach = rng.choice(g.vertices())
+        if rng.random() < 0.5:
+            size = rng.randint(2, max_block_size)
+            kind = "clique"
+        else:
+            size = rng.choice([s for s in range(3, max_block_size + 1) if s % 2 == 1])
+            kind = "odd_cycle"
+        block = [attach]
+        while len(block) < size:
+            block.append(next_vertex)
+            g.add_vertex(next_vertex)
+            next_vertex += 1
+        if kind == "clique":
+            g.add_edges(itertools.combinations(block, 2))
+        else:
+            for i in range(size):
+                g.add_edge(block[i], block[(i + 1) % size])
+    return g
+
+
+def book_of_cliques(n_pages: int, clique_size: int) -> Graph:
+    """``n_pages`` cliques sharing one common vertex (a Gallai tree).
+
+    This is the construction mentioned in Section 6 of the paper ("attach a
+    clique to every vertex on a path") restricted to a single spine vertex;
+    useful to exercise nice list-assignments.
+    """
+    if clique_size < 2:
+        raise GeneratorError("clique_size must be at least 2")
+    g = Graph(name=f"book_{n_pages}x{clique_size}")
+    g.add_vertex(0)
+    next_vertex = 1
+    for _ in range(n_pages):
+        block = [0] + list(range(next_vertex, next_vertex + clique_size - 1))
+        next_vertex += clique_size - 1
+        g.add_edges(itertools.combinations(block, 2))
+    return g
+
+
+def theta_graph(lengths: Sequence[int]) -> Graph:
+    """Theta graph: two hub vertices joined by internally disjoint paths.
+
+    ``lengths[i]`` is the number of edges of the i-th path (>= 1; at most one
+    path of length 1).  Theta graphs are 2-connected and neither cliques nor
+    cycles whenever there are at least 3 paths, so they are the smallest
+    witnesses of non-Gallai blocks — heavily used in tests of the
+    Borodin–Erdős–Rubin–Taylor solver.
+    """
+    if len(lengths) < 2:
+        raise GeneratorError("need at least two paths")
+    if sum(1 for length in lengths if length == 1) > 1:
+        raise GeneratorError("at most one path may have length 1")
+    g = Graph(name="theta_" + "_".join(map(str, lengths)))
+    a, b = "a", "b"
+    g.add_vertex(a)
+    g.add_vertex(b)
+    next_vertex = 0
+    for i, length in enumerate(lengths):
+        if length < 1:
+            raise GeneratorError("path lengths must be >= 1")
+        previous = a
+        for _ in range(length - 1):
+            v = ("p", i, next_vertex)
+            next_vertex += 1
+            g.add_edge(previous, v)
+            previous = v
+        g.add_edge(previous, b)
+    return g

@@ -1,0 +1,223 @@
+"""Graphs embedded on surfaces: the lower-bound constructions of the paper.
+
+Three families are needed:
+
+* **Klein-bottle grids** ``G_{k,l}`` (Figure 2, left): the k-by-l
+  rectangular grid drawn on the Klein bottle.  Gallai proved that
+  ``G_{2k+1,2l+1}`` is 4-chromatic; since its small balls look exactly like
+  balls of planar (triangle-free, even bipartite) graphs, Observation 2.4
+  yields the Omega(n) / Omega(sqrt(n)) lower bounds of Theorems 2.5 and 2.6.
+
+* **Pentagonal tubes** ``C_5 x P_m`` and planar rectangular grids: the
+  planar graphs whose balls realize the Klein-bottle balls (the graph
+  ``H_{2l}`` of Figure 2, right, is a planar triangle-free graph of this
+  kind).
+
+* **Non-4-colorable toroidal triangulations** (Figure 3): the paper uses
+  Fisk's construction (a toroidal triangulation with exactly two adjacent
+  odd-degree vertices).  We substitute the *cube of a cycle*
+  ``C_n(1,2,3)``, which is also a 6-regular triangulation of the torus, has
+  chromatic number 5 whenever ``n`` is not divisible by 4 (certified by the
+  independence-number bound ``alpha = floor(n/4)``), and all of whose balls
+  of radius ``r < (n-7)/6`` are cubes of paths — planar 3-trees.  It
+  therefore supports exactly the same indistinguishability argument as the
+  Fisk triangulation (Theorem 1.5); the substitution is recorded in
+  DESIGN.md.
+
+All generators return :class:`repro.graphs.graph.Graph` objects with
+metadata describing the surface and the relevant certificates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GeneratorError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "klein_bottle_grid",
+    "torus_grid",
+    "toroidal_triangular_grid",
+    "pentagonal_tube",
+    "cycle_power",
+    "path_power",
+    "fisk_like_triangulation",
+    "planar_grid_patch",
+]
+
+
+def klein_bottle_grid(k: int, l: int) -> Graph:
+    """The k-by-l rectangular grid on the Klein bottle (Figure 2, left).
+
+    Vertices are pairs ``(i, j)`` with ``i in Z_k`` (vertical coordinate,
+    wrapped normally, so vertical cycles have length ``k``) and
+    ``j in {0..l-1}`` (horizontal coordinate).  Horizontal edges wrap with a
+    *flip* ``(i, l-1) ~ (k-1-i, 0)``, which realizes the Klein-bottle
+    identification of the figure.
+
+    For ``k`` and ``l`` both odd, the graph is a non-bipartite
+    quadrangulation of the Klein bottle and is 4-chromatic (Gallai); this is
+    verified exactly for small instances in the test suite.
+    """
+    if k < 3 or l < 3:
+        raise GeneratorError("need k >= 3 and l >= 3")
+    g = Graph(name=f"klein_grid_{k}x{l}")
+    for i in range(k):
+        for j in range(l):
+            g.add_vertex((i, j))
+    for i in range(k):
+        for j in range(l):
+            g.add_edge((i, j), ((i + 1) % k, j))
+            if j < l - 1:
+                g.add_edge((i, j), (i, j + 1))
+            else:
+                g.add_edge((i, j), ((k - 1 - i) % k, 0))
+    g.metadata["surface"] = "klein_bottle"
+    g.metadata["quadrangulation"] = True
+    if k % 2 == 1 and l % 2 == 1:
+        g.metadata["chromatic_number"] = 4
+    return g
+
+
+def torus_grid(k: int, l: int) -> Graph:
+    """The k-by-l quadrangulated grid on the torus (4-regular, girth 4)."""
+    if k < 3 or l < 3:
+        raise GeneratorError("need k >= 3 and l >= 3")
+    g = Graph(name=f"torus_grid_{k}x{l}")
+    for i in range(k):
+        for j in range(l):
+            g.add_edge((i, j), ((i + 1) % k, j))
+            g.add_edge((i, j), (i, (j + 1) % l))
+    g.metadata["surface"] = "torus"
+    return g
+
+
+def toroidal_triangular_grid(k: int, l: int) -> Graph:
+    """The 6-regular triangulation of the torus on ``k*l`` vertices.
+
+    Vertices ``(i, j)`` in ``Z_k x Z_l`` with edges to ``(i+1, j)``,
+    ``(i, j+1)`` and ``(i+1, j+1)``.  Euler genus 2, maximum average degree
+    exactly 6 — the extremal input for Corollary 2.11 with ``g = 2``.
+    """
+    if k < 3 or l < 3:
+        raise GeneratorError("need k >= 3 and l >= 3")
+    g = Graph(name=f"torus_triangulation_{k}x{l}")
+    for i in range(k):
+        for j in range(l):
+            v = (i, j)
+            g.add_edge(v, ((i + 1) % k, j))
+            g.add_edge(v, (i, (j + 1) % l))
+            g.add_edge(v, ((i + 1) % k, (j + 1) % l))
+    g.metadata["surface"] = "torus"
+    g.metadata["euler_genus"] = 2
+    g.metadata["triangulation"] = True
+    return g
+
+
+def pentagonal_tube(length: int) -> Graph:
+    """``C_5 x P_length`` (Cartesian product): concentric pentagons.
+
+    Planar (draw the pentagons as nested circles) and triangle-free; its
+    balls realize the balls of the Klein-bottle grid ``G_{5, 2l+1}`` away
+    from wrap-around, playing the role of the graph ``H_{2l}`` in Figure 2
+    (right) for Theorem 2.5.
+    """
+    if length < 1:
+        raise GeneratorError("length must be positive")
+    g = Graph(name=f"pentagonal_tube_{length}")
+    for j in range(length):
+        for i in range(5):
+            g.add_edge((i, j), ((i + 1) % 5, j))
+            if j + 1 < length:
+                g.add_edge((i, j), (i, j + 1))
+    g.metadata["planar"] = True
+    g.metadata["triangle_free"] = True
+    return g
+
+
+def cycle_power(n: int, power: int = 3) -> Graph:
+    """The ``power``-th power of the cycle ``C_n`` (circulant C_n(1..power)).
+
+    For ``power = 3`` this is a 6-regular triangulation of the torus whose
+    chromatic number is ``ceil(n / floor(n / 4))`` — equal to 5 whenever
+    ``n >= 13`` and ``n`` is not a multiple of 4.  Its balls of radius
+    ``r < (n - 2*power - 1) / (2*power)`` are powers of paths, i.e. planar
+    3-trees, so the graph is locally planar.  This is our stand-in for the
+    Fisk toroidal triangulation of Figure 3 (see module docstring).
+    """
+    if power < 1:
+        raise GeneratorError("power must be positive")
+    if n < 2 * power + 3:
+        raise GeneratorError("need n >= 2*power + 3 for a simple graph")
+    g = Graph(vertices=range(n), name=f"cycle_power_{n}_{power}")
+    for i in range(n):
+        for d in range(1, power + 1):
+            g.add_edge(i, (i + d) % n)
+    g.metadata["surface"] = "torus" if power == 3 else None
+    g.metadata["circulant"] = tuple(range(1, power + 1))
+    if power == 3 and n % 4 != 0 and n >= 13:
+        g.metadata["chromatic_number_lower_bound"] = 5
+    return g
+
+
+def path_power(m: int, power: int = 3) -> Graph:
+    """The ``power``-th power of the path ``P_m``.
+
+    For ``power = 3`` this is a planar 3-tree (each vertex ``i >= 3`` is
+    attached to the triangle ``{i-1, i-2, i-3}``); it is the planar graph
+    whose balls are isomorphic to the balls of :func:`cycle_power`, which is
+    what the Theorem 1.5 indistinguishability certificate needs.
+    """
+    if m < 1:
+        raise GeneratorError("m must be positive")
+    g = Graph(vertices=range(m), name=f"path_power_{m}_{power}")
+    for i in range(m):
+        for d in range(1, power + 1):
+            if i + d < m:
+                g.add_edge(i, i + d)
+    if power == 3:
+        g.metadata["planar"] = True
+        g.metadata["planar_3_tree"] = True
+    return g
+
+
+def fisk_like_triangulation(n: int) -> Graph:
+    """A non-4-colorable toroidal triangulation on ``n`` vertices.
+
+    The paper (Theorem 1.5 / Figure 3) uses Fisk's triangulations, which
+    exist for every ``n = 1 (mod 3)``.  We return :func:`cycle_power`
+    ``C_n(1,2,3)`` instead, which exists for every ``n >= 13`` with
+    ``n % 4 != 0`` and enjoys the same two properties used in the proof:
+
+    * it is not 4-colorable (its independence number is ``floor(n/4)``, so
+      ``chi >= ceil(n / floor(n/4)) = 5``);
+    * every ball of radius ``r < (n - 7) / 6`` induces a cube of a path,
+      which is a planar graph.
+
+    Raises
+    ------
+    GeneratorError
+        If ``n`` is divisible by 4 (the construction is then 4-colorable) or
+        too small.
+    """
+    if n % 4 == 0:
+        raise GeneratorError(
+            "n must not be divisible by 4 (C_n(1,2,3) is 4-colorable otherwise)"
+        )
+    if n < 13:
+        raise GeneratorError("need n >= 13")
+    g = cycle_power(n, power=3)
+    g.name = f"fisk_like_{n}"
+    g.metadata["not_4_colorable"] = True
+    # balls of radius up to (n - 4) // 6 are cubes of paths, hence planar
+    g.metadata["planar_ball_radius"] = (n - 4) // 6
+    return g
+
+
+def planar_grid_patch(rows: int, cols: int) -> Graph:
+    """Planar rectangular grid used as the comparison graph of Theorem 2.6."""
+    from repro.graphs.generators.classic import grid_2d
+
+    g = grid_2d(rows, cols)
+    g.metadata["bipartite"] = True
+    g.metadata["triangle_free"] = True
+    return g

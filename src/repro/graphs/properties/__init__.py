@@ -1,0 +1,81 @@
+"""Structural graph properties used throughout the library."""
+
+from repro.graphs.properties.arboricity import (
+    ArboricityEstimate,
+    arboricity,
+    arboricity_lower_bound,
+    greedy_forest_decomposition,
+)
+from repro.graphs.properties.balls import (
+    RootedBall,
+    all_rooted_balls,
+    ball_subgraph,
+    rooted_ball,
+    rooted_balls_isomorphic,
+)
+from repro.graphs.properties.blocks import (
+    biconnected_components,
+    block_cut_tree,
+    blocks_and_cut_vertices,
+    cut_vertices,
+    is_biconnected,
+    leaf_blocks,
+)
+from repro.graphs.properties.cliques import find_clique_of_size, is_clique
+from repro.graphs.properties.degeneracy import (
+    degeneracy,
+    degeneracy_ordering,
+    greedy_color_along,
+)
+from repro.graphs.properties.gallai import (
+    is_gallai_forest,
+    is_gallai_tree,
+    non_gallai_blocks,
+)
+from repro.graphs.properties.girth import girth, has_triangle
+from repro.graphs.properties.mad import (
+    densest_subgraph,
+    maximum_average_degree,
+    maximum_density,
+)
+from repro.graphs.properties.planarity import (
+    heawood_colors,
+    heawood_mad_bound,
+    is_planar,
+    mad_bound_from_girth,
+)
+
+__all__ = [
+    "ArboricityEstimate",
+    "arboricity",
+    "arboricity_lower_bound",
+    "greedy_forest_decomposition",
+    "RootedBall",
+    "all_rooted_balls",
+    "ball_subgraph",
+    "rooted_ball",
+    "rooted_balls_isomorphic",
+    "biconnected_components",
+    "block_cut_tree",
+    "blocks_and_cut_vertices",
+    "cut_vertices",
+    "is_biconnected",
+    "leaf_blocks",
+    "find_clique_of_size",
+    "is_clique",
+    "degeneracy",
+    "degeneracy_ordering",
+    "greedy_color_along",
+    "is_gallai_forest",
+    "is_gallai_tree",
+    "non_gallai_blocks",
+    "girth",
+    "has_triangle",
+    "densest_subgraph",
+    "maximum_average_degree",
+    "maximum_density",
+    "heawood_colors",
+    "heawood_mad_bound",
+    "is_planar",
+    "mad_bound_from_girth",
+]

@@ -1,0 +1,145 @@
+"""Arboricity bounds and forest decompositions.
+
+The arboricity ``a(G)`` is the minimum number of forests needed to cover
+the edges.  Nash–Williams:
+
+    a(G) = max over subgraphs H with >= 2 vertices of ceil(|E(H)| / (|V(H)|-1)).
+
+The paper relates it to the maximum average degree by
+``2 a(G) - 2 <= ceil(mad(G)) <= 2 a(G)``.
+
+This module provides:
+
+* :func:`arboricity_lower_bound` — the Nash–Williams expression evaluated on
+  the whole graph and on the exact densest subgraph (a certified lower
+  bound);
+* :func:`greedy_forest_decomposition` — an explicit partition of the edges
+  into forests (a certified upper bound witness, used by the
+  Barenboim–Elkin baseline and by Corollary 1.4 experiments);
+* :func:`arboricity` — returns the exact value when the two bounds meet
+  (which they do for all generator families shipped with the library) and
+  otherwise the certified interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graphs.graph import Edge, Graph, Vertex
+from repro.graphs.properties.mad import maximum_density
+
+__all__ = [
+    "arboricity",
+    "arboricity_lower_bound",
+    "greedy_forest_decomposition",
+    "ArboricityEstimate",
+]
+
+
+@dataclass(frozen=True)
+class ArboricityEstimate:
+    """Certified bounds on the arboricity of a graph.
+
+    Attributes
+    ----------
+    lower:
+        Nash–Williams lower bound (from the whole graph and the densest
+        subgraph).
+    upper:
+        Number of forests in an explicit greedy decomposition.
+    forests:
+        The witness decomposition (a list of edge lists, each acyclic).
+    """
+
+    lower: int
+    upper: int
+    forests: tuple[tuple[Edge, ...], ...]
+
+    @property
+    def exact(self) -> int | None:
+        """The exact arboricity when the bounds coincide, else ``None``."""
+        return self.lower if self.lower == self.upper else None
+
+
+def arboricity_lower_bound(graph: Graph) -> int:
+    """Nash–Williams lower bound ``max ceil(e_H / (v_H - 1))`` over two witnesses."""
+    n = graph.number_of_vertices()
+    m = graph.number_of_edges()
+    if n < 2 or m == 0:
+        return 0 if m == 0 else 1
+    bound = math.ceil(m / (n - 1))
+    density, vertices = maximum_density(graph)
+    if len(vertices) >= 2:
+        sub = graph.subgraph(vertices)
+        bound = max(
+            bound,
+            math.ceil(sub.number_of_edges() / (sub.number_of_vertices() - 1)),
+        )
+    del density
+    return bound
+
+
+class _UnionFind:
+    """Union–find with path compression for cycle detection in forests."""
+
+    def __init__(self) -> None:
+        self.parent: dict[Vertex, Vertex] = {}
+
+    def find(self, v: Vertex) -> Vertex:
+        parent = self.parent.setdefault(v, v)
+        if parent == v:
+            return v
+        root = self.find(parent)
+        self.parent[v] = root
+        return root
+
+    def union(self, u: Vertex, v: Vertex) -> bool:
+        ru, rv = self.find(u), self.find(v)
+        if ru == rv:
+            return False
+        self.parent[ru] = rv
+        return True
+
+
+def greedy_forest_decomposition(graph: Graph) -> list[list[Edge]]:
+    """Partition the edges of ``graph`` into forests (greedy first-fit).
+
+    Each edge is placed into the first forest in which it does not close a
+    cycle.  The number of forests used is at most ``2 a(G)`` in the worst
+    case but is frequently exactly ``a(G)`` on the generator families used
+    by the experiments (a denser-first edge ordering improves the fit).
+    """
+    forests: list[list[Edge]] = []
+    union_finds: list[_UnionFind] = []
+    # process edges by decreasing min-degree of the endpoints: edges deep in
+    # dense parts get first pick of the forests, which empirically tightens
+    # the decomposition
+    degrees = graph.degrees()
+    edges = sorted(
+        graph.edges(),
+        key=lambda e: -(min(degrees[e[0]], degrees[e[1]])),
+    )
+    for u, v in edges:
+        for forest, uf in zip(forests, union_finds):
+            if uf.union(u, v):
+                forest.append((u, v))
+                break
+        else:
+            uf = _UnionFind()
+            uf.union(u, v)
+            forests.append([(u, v)])
+            union_finds.append(uf)
+    return forests
+
+
+def arboricity(graph: Graph) -> ArboricityEstimate:
+    """Certified bounds (and usually the exact value) of the arboricity."""
+    lower = arboricity_lower_bound(graph)
+    forests = greedy_forest_decomposition(graph)
+    upper = len(forests)
+    return ArboricityEstimate(
+        lower=lower,
+        upper=max(upper, lower) if upper else lower,
+        forests=tuple(tuple(f) for f in forests),
+    )

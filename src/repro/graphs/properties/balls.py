@@ -1,0 +1,132 @@
+"""Balls, rooted balls and rooted-ball isomorphism.
+
+These primitives implement the view of a vertex in the LOCAL model (the
+labelled ball of radius r determines the output after r rounds) and the
+indistinguishability machinery of Observation 2.4: a distributed algorithm
+cannot distinguish two vertices whose rooted balls are isomorphic, so if
+every rooted ball of a high-chromatic graph ``H`` also appears in a graph
+``G`` of the target class, no fast algorithm can color the class with fewer
+than ``chi(H)`` colors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.graphs.graph import Graph, Vertex
+
+__all__ = [
+    "ball_subgraph",
+    "RootedBall",
+    "rooted_ball",
+    "rooted_balls_isomorphic",
+    "ball_signature",
+    "all_rooted_balls",
+]
+
+
+def ball_subgraph(graph: Graph, center: Vertex, radius: int) -> Graph:
+    """The subgraph induced by the ball ``B_radius(center)``."""
+    return graph.subgraph(graph.ball(center, radius))
+
+
+@dataclass(frozen=True)
+class RootedBall:
+    """A ball together with its center (the "view" of a vertex).
+
+    Attributes
+    ----------
+    center:
+        The root vertex.
+    radius:
+        The radius the ball was extracted with.
+    graph:
+        The induced subgraph on the ball.
+    distances:
+        Distance of every ball vertex from the center.
+    """
+
+    center: Vertex
+    radius: int
+    graph: Graph
+    distances: dict[Vertex, int]
+
+    def signature(self) -> tuple:
+        """A cheap isomorphism-invariant fingerprint (used to prune comparisons)."""
+        return ball_signature(self)
+
+
+def rooted_ball(graph: Graph, center: Vertex, radius: int) -> RootedBall:
+    """Extract the rooted ball of ``center`` with the given ``radius``."""
+    distances = graph.bfs_distances(center, radius)
+    return RootedBall(
+        center=center,
+        radius=radius,
+        graph=graph.subgraph(distances),
+        distances=distances,
+    )
+
+
+def ball_signature(ball: RootedBall) -> tuple:
+    """Isomorphism-invariant signature: size, edges, per-distance degree profile."""
+    per_layer: dict[int, list[int]] = {}
+    for v, dist in ball.distances.items():
+        per_layer.setdefault(dist, []).append(ball.graph.degree(v))
+    layers = tuple(
+        (dist, tuple(sorted(per_layer[dist]))) for dist in sorted(per_layer)
+    )
+    return (
+        ball.graph.number_of_vertices(),
+        ball.graph.number_of_edges(),
+        layers,
+    )
+
+
+def _to_rooted_networkx(ball: RootedBall) -> nx.Graph:
+    """Convert to networkx with a strong per-node label.
+
+    The label combines the BFS distance from the root, the degree within the
+    ball, and the sorted multiset of the neighbours' distances — all rooted-
+    isomorphism invariants.  Rich labels prune the isomorphism search
+    dramatically on highly symmetric balls (grids, circulants).
+    """
+    g = nx.Graph()
+    for v in ball.graph:
+        neighbour_distances = tuple(
+            sorted(ball.distances[u] for u in ball.graph.neighbors(v))
+        )
+        g.add_node(
+            v,
+            label=(ball.distances[v], ball.graph.degree(v), neighbour_distances),
+        )
+    g.add_edges_from(ball.graph.edges())
+    return g
+
+
+def rooted_balls_isomorphic(first: RootedBall, second: RootedBall) -> bool:
+    """Whether two rooted balls are isomorphic *as rooted graphs*.
+
+    The isomorphism must map the center to the center; since BFS distances
+    from the center are isomorphism invariants of rooted graphs, requiring a
+    distance-preserving isomorphism is equivalent and prunes the search.
+    """
+    if first.signature() != second.signature():
+        return False
+    g1 = _to_rooted_networkx(first)
+    g2 = _to_rooted_networkx(second)
+    try:
+        return nx.vf2pp_is_isomorphic(g1, g2, node_label="label")
+    except AttributeError:  # pragma: no cover - very old networkx
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            g1,
+            g2,
+            node_match=nx.algorithms.isomorphism.categorical_node_match("label", None),
+        )
+        return matcher.is_isomorphic()
+
+
+def all_rooted_balls(graph: Graph, radius: int) -> list[RootedBall]:
+    """The rooted balls of every vertex of ``graph`` at the given radius."""
+    return [rooted_ball(graph, v, radius) for v in graph]

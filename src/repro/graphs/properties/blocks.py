@@ -1,0 +1,107 @@
+"""Blocks (maximal 2-connected subgraphs), cut vertices and the block tree.
+
+Blocks are the backbone of the Gallai-tree machinery (Section 1.4 of the
+paper): a Gallai tree is a connected graph in which every block is a clique
+or an odd cycle, and Theorem 1.1 (Borodin; Erdős–Rubin–Taylor) states that
+connected non-Gallai-trees are degree-choosable.
+
+Block decomposition is delegated to networkx's biconnected-components
+implementation (Tarjan/Hopcroft); this module adapts it to the library's
+:class:`~repro.graphs.graph.Graph` type and adds the block-cut-tree and
+leaf-block helpers used by the Borodin–ERT solver and the happy-vertex
+detector.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.graph import Graph, Vertex
+
+__all__ = [
+    "biconnected_components",
+    "cut_vertices",
+    "blocks_and_cut_vertices",
+    "block_cut_tree",
+    "is_biconnected",
+    "leaf_blocks",
+]
+
+
+def blocks_and_cut_vertices(
+    graph: Graph,
+) -> tuple[list[frozenset[Vertex]], set[Vertex]]:
+    """Return ``(blocks, cut_vertices)``.
+
+    Each block is a frozenset of vertices.  Isolated vertices form singleton
+    blocks (networkx omits them, so they are added back explicitly); bridge
+    edges form blocks of size two.
+    """
+    g = graph.to_networkx()
+    blocks = [frozenset(b) for b in nx.biconnected_components(g)]
+    covered = set().union(*blocks) if blocks else set()
+    for v in graph:
+        if v not in covered:
+            blocks.append(frozenset([v]))
+    cuts = set(nx.articulation_points(g))
+    return blocks, cuts
+
+
+def biconnected_components(graph: Graph) -> list[frozenset[Vertex]]:
+    """The blocks of the graph (vertex sets of maximal 2-connected subgraphs)."""
+    return blocks_and_cut_vertices(graph)[0]
+
+
+def cut_vertices(graph: Graph) -> set[Vertex]:
+    """The cut vertices (articulation points) of the graph."""
+    return blocks_and_cut_vertices(graph)[1]
+
+
+def is_biconnected(graph: Graph) -> bool:
+    """Whether the graph consists of a single block.
+
+    Following the convention that is convenient for Gallai trees, a single
+    vertex and a single edge (K_2) both count as "biconnected": what matters
+    is that the graph is connected and has exactly one block.
+    """
+    if len(graph) <= 1:
+        return True
+    if not graph.is_connected():
+        return False
+    return len(biconnected_components(graph)) == 1
+
+
+def block_cut_tree(
+    graph: Graph,
+) -> tuple[Graph, dict[Vertex, list[int]], list[frozenset[Vertex]]]:
+    """Return the block-cut tree of ``graph``.
+
+    The returned tree has a vertex ``("block", i)`` for every block and a
+    vertex ``("cut", v)`` for every cut vertex ``v``, joined whenever the
+    cut vertex belongs to the block.  The function also returns, for every
+    original vertex, the indices of the blocks containing it, plus the block
+    list itself (indexed consistently).
+    """
+    blocks, cuts = blocks_and_cut_vertices(graph)
+    tree = Graph(name=f"{graph.name}_block_cut_tree")
+    membership: dict[Vertex, list[int]] = {v: [] for v in graph}
+    for i, block in enumerate(blocks):
+        tree.add_vertex(("block", i))
+        for v in block:
+            membership[v].append(i)
+    for v in cuts:
+        tree.add_vertex(("cut", v))
+        for i in membership[v]:
+            tree.add_edge(("cut", v), ("block", i))
+    return tree, membership, blocks
+
+
+def leaf_blocks(graph: Graph) -> list[frozenset[Vertex]]:
+    """Blocks containing at most one cut vertex ("end blocks").
+
+    Every connected graph with at least two blocks has at least two leaf
+    blocks; they are the starting point of the inductive proof of
+    Theorem 1.1 and of the constructive Borodin–ERT solver.
+    """
+    blocks, cuts = blocks_and_cut_vertices(graph)
+    return [block for block in blocks if len(block & cuts) <= 1]

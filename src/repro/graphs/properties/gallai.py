@@ -1,0 +1,81 @@
+"""Gallai-tree recognition.
+
+A *Gallai tree* is a connected graph in which every block (maximal
+2-connected subgraph) is a clique or an odd cycle (Figure 1 of the paper).
+Gallai trees are exactly the connected graphs that are **not**
+degree-choosable (Theorem 1.1), and the happy-vertex test of Lemma 3.1 asks
+whether the rich ball of a vertex induces a Gallai tree.
+
+Recognition is straightforward given the block decomposition: check each
+block.  A block is a clique iff it has ``k(k-1)/2`` edges on ``k``
+vertices; it is an odd cycle iff it has ``k`` vertices, ``k`` edges, every
+vertex has degree 2 within the block, and ``k`` is odd.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph, Vertex
+from repro.graphs.properties.blocks import biconnected_components
+
+__all__ = [
+    "is_gallai_tree",
+    "is_gallai_forest",
+    "non_gallai_blocks",
+    "block_is_clique",
+    "block_is_odd_cycle",
+]
+
+
+def block_is_clique(graph: Graph, block: frozenset[Vertex]) -> bool:
+    """Whether ``block`` induces a clique in ``graph``."""
+    k = len(block)
+    if k <= 2:
+        return True
+    sub = graph.subgraph(block)
+    return sub.number_of_edges() == k * (k - 1) // 2
+
+
+def block_is_odd_cycle(graph: Graph, block: frozenset[Vertex]) -> bool:
+    """Whether ``block`` induces an odd cycle (of length >= 3) in ``graph``."""
+    k = len(block)
+    if k < 3 or k % 2 == 0:
+        return False
+    sub = graph.subgraph(block)
+    if sub.number_of_edges() != k:
+        return False
+    return all(sub.degree(v) == 2 for v in sub)
+
+
+def non_gallai_blocks(graph: Graph) -> list[frozenset[Vertex]]:
+    """Blocks of ``graph`` that are neither cliques nor odd cycles.
+
+    The graph need not be connected: blocks of every component are
+    inspected.  An empty return value means every component is a Gallai
+    tree ("Gallai forest").
+    """
+    bad = []
+    for block in biconnected_components(graph):
+        if block_is_clique(graph, block):
+            continue
+        if block_is_odd_cycle(graph, block):
+            continue
+        bad.append(block)
+    return bad
+
+
+def is_gallai_forest(graph: Graph) -> bool:
+    """Whether every connected component of ``graph`` is a Gallai tree."""
+    return not non_gallai_blocks(graph)
+
+
+def is_gallai_tree(graph: Graph) -> bool:
+    """Whether ``graph`` is a Gallai tree (connected + every block clique/odd cycle).
+
+    The empty graph is not a Gallai tree (it is not connected in the usual
+    sense used by the paper); a single vertex is.
+    """
+    if len(graph) == 0:
+        return False
+    if not graph.is_connected():
+        return False
+    return is_gallai_forest(graph)

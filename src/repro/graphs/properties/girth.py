@@ -1,0 +1,92 @@
+"""Girth computation (length of a shortest cycle).
+
+The paper uses girth in two places: Proposition 2.2 (planar graphs of girth
+``g`` have ``mad < 2g/(g-2)``) and Corollary 4.2 (the Moore-type bound of
+Alon, Hoory and Linial, used to bound the size of the sad set).  The girth
+is computed by the standard BFS-from-every-vertex algorithm in ``O(n m)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.graphs.graph import Graph, Vertex
+
+__all__ = ["girth", "has_triangle", "shortest_cycle_through"]
+
+
+def girth(graph: Graph) -> float:
+    """The girth of ``graph`` (``math.inf`` for forests)."""
+    best = math.inf
+    for v in graph:
+        cycle_len = _shortest_cycle_from(graph, v, int(best) if best < math.inf else None)
+        if cycle_len < best:
+            best = cycle_len
+            if best == 3:
+                return 3
+    return best
+
+
+def _shortest_cycle_from(
+    graph: Graph, source: Vertex, cutoff: int | None
+) -> float:
+    """Length of a shortest cycle through ``source``-rooted BFS edges.
+
+    A standard argument shows that taking the minimum of this quantity over
+    all sources gives the girth: when BFS from ``v`` meets an edge between
+    two vertices at depths ``d1`` and ``d2`` (neither being the tree parent
+    relation), a cycle of length at most ``d1 + d2 + 1`` exists; the
+    shortest cycle of the graph is found from any of its vertices.
+    """
+    dist: dict[Vertex, int] = {source: 0}
+    parent: dict[Vertex, Vertex | None] = {source: None}
+    queue: deque[Vertex] = deque([source])
+    best = math.inf
+    while queue:
+        u = queue.popleft()
+        if cutoff is not None and dist[u] * 2 >= cutoff:
+            # no shorter cycle through `source` can be found deeper
+            break
+        for w in graph.neighbors(u):
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                parent[w] = u
+                queue.append(w)
+            elif parent[u] != w:
+                best = min(best, dist[u] + dist[w] + 1)
+    return best
+
+
+def has_triangle(graph: Graph) -> bool:
+    """Whether the graph contains a triangle."""
+    for u in graph:
+        nbrs = graph.neighbors(u)
+        for v in nbrs:
+            # iterate over the smaller neighbourhood for speed
+            if len(graph.neighbors(v)) > len(nbrs):
+                continue
+            if any(w in nbrs and w != u for w in graph.neighbors(v)):
+                return True
+    return False
+
+
+def shortest_cycle_through(graph: Graph, v: Vertex) -> float:
+    """Length of a shortest cycle passing through ``v`` (inf if none)."""
+    best = math.inf
+    nbrs = list(graph.neighbors(v))
+    for i, start in enumerate(nbrs):
+        # BFS in G - v from `start`; a path to a later neighbour closes a cycle
+        dist = {start: 0}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for w in graph.neighbors(u):
+                if w == v or w in dist:
+                    continue
+                dist[w] = dist[u] + 1
+                queue.append(w)
+        for other in nbrs[i + 1 :]:
+            if other in dist:
+                best = min(best, dist[other] + 2)
+    return best

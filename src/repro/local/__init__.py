@@ -1,0 +1,29 @@
+"""LOCAL-model simulation: node programs, synchronous engine, round accounting."""
+
+from repro.local.ball_collection import (
+    BallCollectionAlgorithm,
+    collect_balls,
+    collect_balls_distributed,
+)
+from repro.local.ledger import LedgerEntry, RoundLedger
+from repro.local.network import Network
+from repro.local.node import NodeAlgorithm, NodeContext
+from repro.local.simulator import (
+    SimulationResult,
+    SynchronousSimulator,
+    run_node_algorithm,
+)
+
+__all__ = [
+    "BallCollectionAlgorithm",
+    "collect_balls",
+    "collect_balls_distributed",
+    "LedgerEntry",
+    "RoundLedger",
+    "Network",
+    "NodeAlgorithm",
+    "NodeContext",
+    "SimulationResult",
+    "SynchronousSimulator",
+    "run_node_algorithm",
+]

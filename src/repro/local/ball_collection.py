@@ -1,0 +1,85 @@
+"""Ball collection: the canonical "learn your radius-r neighbourhood" routine.
+
+In the LOCAL model, ``r`` rounds of communication let every node learn the
+labelled ball of radius ``r`` around itself, and conversely the output of an
+``r``-round algorithm is a function of that ball.  This module provides
+
+* :class:`BallCollectionAlgorithm` — a genuine message-passing node program
+  that floods adjacency knowledge for ``r`` rounds (used in tests to confirm
+  the equivalence between rounds and ball radius);
+* :func:`collect_balls` — the centralized shortcut computing the same result
+  directly from the graph (used by the phase-structured drivers, which
+  charge ``r`` rounds to their ledger when they call it).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.graphs.graph import Graph, Vertex
+from repro.local.node import NodeAlgorithm, NodeContext
+from repro.local.simulator import run_node_algorithm
+
+__all__ = ["BallCollectionAlgorithm", "collect_balls", "collect_balls_distributed"]
+
+
+class BallCollectionAlgorithm(NodeAlgorithm):
+    """Learn the ball of radius ``r`` (vertex identifiers and induced edges).
+
+    Input (per node): the radius ``r`` (an ``int``).  Output: a pair
+    ``(vertices, edges)`` where ``vertices`` is the set of identifiers at
+    distance at most ``r`` and ``edges`` the set of known edges between
+    them.  After ``r`` rounds the knowledge is exactly the ball.
+    """
+
+    def initialize(self, context: NodeContext) -> None:
+        super().initialize(context)
+        self.radius: int = int(context.input or 0)
+        self.known_vertices: set[int] = {context.identifier}
+        self.known_edges: set[frozenset[int]] = set()
+        self.rounds_done = 0
+
+    def send(self, round_number: int) -> dict[int, Any]:
+        if self.rounds_done >= self.radius:
+            return {}
+        # snapshot the knowledge: messages must not alias mutable state, or a
+        # receiver processed later in the round would see the sender's
+        # *post-receive* knowledge and learn one hop too much
+        payload = (
+            self.context.identifier,
+            frozenset(self.known_vertices),
+            frozenset(self.known_edges),
+        )
+        return {port: payload for port in range(self.context.degree)}
+
+    def receive(self, round_number: int, messages: dict[int, Any]) -> None:
+        if self.rounds_done >= self.radius:
+            return
+        for identifier, vertices, edges in messages.values():
+            self.known_vertices |= vertices
+            self.known_edges |= edges
+            self.known_edges.add(
+                frozenset((self.context.identifier, identifier))
+            )
+        self.rounds_done += 1
+
+    def is_finished(self) -> bool:
+        return self.rounds_done >= self.radius
+
+    def result(self) -> tuple[set[int], set[frozenset[int]]]:
+        return self.known_vertices, self.known_edges
+
+
+def collect_balls_distributed(graph: Graph, radius: int):
+    """Run :class:`BallCollectionAlgorithm` and return the simulation result."""
+    return run_node_algorithm(
+        graph,
+        BallCollectionAlgorithm,
+        inputs={v: radius for v in graph},
+        max_rounds=radius + 1,
+    )
+
+
+def collect_balls(graph: Graph, radius: int) -> dict[Vertex, set[Vertex]]:
+    """Centralized equivalent: the ball of every vertex at the given radius."""
+    return {v: graph.ball(v, radius) for v in graph}

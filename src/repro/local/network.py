@@ -1,0 +1,61 @@
+"""The network side of the LOCAL-model simulator.
+
+A :class:`Network` wraps a :class:`~repro.graphs.graph.Graph`: it assigns
+identifiers ``1..n`` to the vertices, fixes a port numbering (for every
+vertex, its incident edges are numbered ``0..deg-1``), and records the
+mapping back to the original vertex labels so that simulation outputs can
+be reported in terms of the caller's vertices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.graphs.graph import Graph, Vertex
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A port-numbered network over an input graph."""
+
+    def __init__(self, graph: Graph, identifier_order: list[Vertex] | None = None):
+        self.graph = graph
+        vertices = identifier_order if identifier_order is not None else graph.vertices()
+        if set(vertices) != set(graph.vertices()):
+            raise ValueError("identifier_order must be a permutation of the vertices")
+        self.identifier_of: dict[Vertex, int] = {
+            v: i + 1 for i, v in enumerate(vertices)
+        }
+        self.vertex_of: dict[int, Vertex] = {
+            i: v for v, i in self.identifier_of.items()
+        }
+        # port numbering: for each vertex, neighbours sorted by identifier
+        self.ports: dict[Vertex, list[Vertex]] = {
+            v: sorted(graph.neighbors(v), key=lambda u: self.identifier_of[u])
+            for v in graph
+        }
+        self.port_of: dict[Vertex, dict[Vertex, int]] = {
+            v: {u: p for p, u in enumerate(nbrs)} for v, nbrs in self.ports.items()
+        }
+
+    @property
+    def n(self) -> int:
+        return self.graph.number_of_vertices()
+
+    def degree(self, v: Vertex) -> int:
+        return len(self.ports[v])
+
+    def neighbor_on_port(self, v: Vertex, port: int) -> Vertex:
+        return self.ports[v][port]
+
+    def port_towards(self, v: Vertex, neighbor: Vertex) -> int:
+        return self.port_of[v][neighbor]
+
+    def translate_inputs(
+        self, inputs: Mapping[Vertex, Any] | None
+    ) -> dict[Vertex, Any]:
+        """Normalize per-vertex inputs (missing vertices get ``None``)."""
+        inputs = dict(inputs or {})
+        return {v: inputs.get(v) for v in self.graph}

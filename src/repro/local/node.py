@@ -1,0 +1,84 @@
+"""Node-side API of the LOCAL-model simulator.
+
+In the LOCAL model each vertex of the input graph is a processor with a
+unique identifier in ``{1, ..., n}``; computation proceeds in synchronous
+rounds, and in each round every node may send an arbitrarily large message
+to each neighbour.  There is no bound on local computation.
+
+A distributed algorithm is written by subclassing :class:`NodeAlgorithm`:
+
+* :meth:`NodeAlgorithm.initialize` receives the node's :class:`NodeContext`
+  (its identifier, the number of vertices ``n``, its degree, and any
+  algorithm-specific input such as its color list);
+* each round, the simulator calls :meth:`NodeAlgorithm.send` to collect the
+  outgoing message per port and then :meth:`NodeAlgorithm.receive` with the
+  incoming messages;
+* a node signals termination through :meth:`NodeAlgorithm.is_finished` and
+  exposes its output through :meth:`NodeAlgorithm.result`.
+
+Nodes address their neighbours through *ports* ``0 .. degree-1``; they do
+not a priori know the identifiers on the other side of each port (that
+information must be learned by communication, exactly as in the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["NodeContext", "NodeAlgorithm"]
+
+
+@dataclass
+class NodeContext:
+    """Initial knowledge of a node.
+
+    Attributes
+    ----------
+    identifier:
+        The node's unique identifier (an integer between 1 and ``n``).
+    n:
+        The number of vertices of the network, known to every node.
+    degree:
+        The node's degree (the number of ports).
+    input:
+        Algorithm-specific input (e.g. the node's color list, or its parent
+        port in a rooted forest).  ``None`` when the algorithm needs none.
+    """
+
+    identifier: int
+    n: int
+    degree: int
+    input: Any = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class NodeAlgorithm:
+    """Base class for LOCAL-model node programs.
+
+    Subclasses typically store their state on ``self`` during
+    :meth:`initialize` and update it in :meth:`receive`.
+    """
+
+    def initialize(self, context: NodeContext) -> None:
+        """Called once before round 1 with the node's initial knowledge."""
+        self.context = context
+
+    def send(self, round_number: int) -> dict[int, Any]:
+        """Return the message to send on each port this round.
+
+        Ports missing from the returned dict carry no message.  The default
+        sends nothing.
+        """
+        return {}
+
+    def receive(self, round_number: int, messages: dict[int, Any]) -> None:
+        """Process the messages received this round (keyed by port)."""
+
+    def is_finished(self) -> bool:
+        """Whether this node has computed its final output."""
+        return True
+
+    def result(self) -> Any:
+        """The node's output (e.g. its chosen color)."""
+        return None

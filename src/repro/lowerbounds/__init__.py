@@ -1,0 +1,41 @@
+"""Lower-bound machinery: Observation 2.4 certificates and the paper's obstructions."""
+
+from repro.lowerbounds.fisk import (
+    FiskLowerBound,
+    cycle_power_chromatic_lower_bound,
+    cycle_power_independence_number,
+    planar_four_coloring_lower_bound,
+)
+from repro.lowerbounds.indistinguishability import (
+    LowerBoundCertificate,
+    balls_embed,
+    certify_coloring_lower_bound,
+)
+from repro.lowerbounds.klein_bottle import (
+    KleinBottleLowerBound,
+    bipartite_grid_lower_bound,
+    klein_grid_chromatic_number,
+    triangle_free_lower_bound,
+)
+from repro.lowerbounds.linial_paths import (
+    PathLowerBound,
+    log_star_floor,
+    path_two_coloring_lower_bound,
+)
+
+__all__ = [
+    "FiskLowerBound",
+    "cycle_power_chromatic_lower_bound",
+    "cycle_power_independence_number",
+    "planar_four_coloring_lower_bound",
+    "LowerBoundCertificate",
+    "balls_embed",
+    "certify_coloring_lower_bound",
+    "KleinBottleLowerBound",
+    "bipartite_grid_lower_bound",
+    "klein_grid_chromatic_number",
+    "triangle_free_lower_bound",
+    "PathLowerBound",
+    "log_star_floor",
+    "path_two_coloring_lower_bound",
+]

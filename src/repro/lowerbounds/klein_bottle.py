@@ -1,0 +1,135 @@
+"""Theorems 2.5 and 2.6: lower bounds from Klein-bottle quadrangulations.
+
+Gallai proved that the ``(2k+1) x (2l+1)`` rectangular grid on the Klein
+bottle is 4-chromatic.  Since
+
+* every ball of radius less than ``l`` of ``G_{5, 2l+1}`` is isomorphic to
+  a ball of a planar triangle-free graph (the pentagonal tube ``H_{2l}`` of
+  Figure 2, right), and
+* every ball of radius less than ``k`` of ``G_{2k+1, 2k+1}`` is isomorphic
+  to a ball of the planar (2k+1)x(2k+1) rectangular grid,
+
+Observation 2.4 rules out
+
+* 3-coloring all n-vertex triangle-free planar graphs in ``o(n)`` rounds
+  (Theorem 2.5), and
+* 3-coloring all n-vertex planar bipartite graphs in ``o(sqrt(n))`` rounds
+  (Theorem 2.6).
+
+The helpers below build both certificates: the obstruction, a suitable
+planar target with at least as many vertices, the chromatic lower bound
+(exact backtracking for small grids, Gallai's theorem recorded as metadata
+for large ones), and the ball-embedding check via
+:func:`repro.lowerbounds.indistinguishability.certify_coloring_lower_bound`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coloring.exact import chromatic_number
+from repro.errors import LowerBoundError
+from repro.graphs.generators.surfaces import (
+    klein_bottle_grid,
+    pentagonal_tube,
+    planar_grid_patch,
+)
+from repro.graphs.graph import Graph
+from repro.lowerbounds.indistinguishability import (
+    LowerBoundCertificate,
+    certify_coloring_lower_bound,
+)
+
+__all__ = [
+    "KleinBottleLowerBound",
+    "triangle_free_lower_bound",
+    "bipartite_grid_lower_bound",
+    "klein_grid_chromatic_number",
+]
+
+
+def klein_grid_chromatic_number(k: int, l: int, exact_limit: int = 36) -> int:
+    """Chromatic number of ``G_{k,l}`` (exact when small, Gallai's value otherwise).
+
+    For odd ``k`` and ``l`` the value is 4 (Gallai); instances with at most
+    ``exact_limit`` vertices are verified by the exact solver.
+    """
+    graph = klein_bottle_grid(k, l)
+    if graph.number_of_vertices() <= exact_limit:
+        return chromatic_number(graph, upper_bound=6)
+    if k % 2 == 1 and l % 2 == 1:
+        return 4
+    raise LowerBoundError(
+        "chromatic number of an even Klein-bottle grid is not needed by the paper"
+    )
+
+
+@dataclass
+class KleinBottleLowerBound:
+    """A certificate plus the graphs it was established on."""
+
+    certificate: LowerBoundCertificate
+    obstruction: Graph
+    target: Graph
+
+
+def triangle_free_lower_bound(
+    l: int, rounds: int, verify_chromatic: bool = True
+) -> KleinBottleLowerBound:
+    """Theorem 2.5 instance: ``G_{5, 2l+1}`` vs a planar triangle-free target.
+
+    Rules out ``rounds``-round 3-coloring of triangle-free planar graphs;
+    the paper's statement needs ``rounds < l / 2``-ish, and the certificate
+    check fails (raises) when ``rounds`` is too large for the given ``l``.
+    """
+    if rounds + 1 >= l:
+        raise LowerBoundError(
+            "Theorem 2.5 needs the probed radius (rounds + 1) to stay below l: "
+            f"got rounds={rounds}, l={l}"
+        )
+    obstruction = klein_bottle_grid(5, 2 * l + 1)
+    # a pentagonal tube with at least as many vertices and ample margin so
+    # that its central balls realize all obstruction balls
+    tube_length = max(2 * l + 1 + 4 * (rounds + 2), 8)
+    target = pentagonal_tube(tube_length)
+    chi_bound = 4
+    if verify_chromatic and obstruction.number_of_vertices() <= 36:
+        chi_bound = chromatic_number(obstruction, upper_bound=6)
+    certificate = certify_coloring_lower_bound(
+        obstruction,
+        target,
+        rounds=rounds,
+        colors=3,
+        obstruction_chromatic_lower_bound=chi_bound,
+    )
+    return KleinBottleLowerBound(certificate, obstruction, target)
+
+
+def bipartite_grid_lower_bound(
+    k: int, rounds: int, verify_chromatic: bool = True
+) -> KleinBottleLowerBound:
+    """Theorem 2.6 instance: ``G_{2k+1, 2k+1}`` vs the planar rectangular grid.
+
+    Rules out ``rounds``-round 3-coloring of planar bipartite graphs
+    (the planar grid is 2-colorable, the Klein-bottle grid is 4-chromatic).
+    """
+    if rounds + 1 >= k:
+        raise LowerBoundError(
+            "Theorem 2.6 needs the probed radius (rounds + 1) to stay below k: "
+            f"got rounds={rounds}, k={k}"
+        )
+    size = 2 * k + 1
+    obstruction = klein_bottle_grid(size, size)
+    margin = 2 * (rounds + 2)
+    target = planar_grid_patch(size + margin, size + margin)
+    chi_bound = 4
+    if verify_chromatic and obstruction.number_of_vertices() <= 36:
+        chi_bound = chromatic_number(obstruction, upper_bound=6)
+    certificate = certify_coloring_lower_bound(
+        obstruction,
+        target,
+        rounds=rounds,
+        colors=3,
+        obstruction_chromatic_lower_bound=chi_bound,
+    )
+    return KleinBottleLowerBound(certificate, obstruction, target)

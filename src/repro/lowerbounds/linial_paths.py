@@ -1,0 +1,78 @@
+"""Linial-style lower bounds on paths and trees.
+
+Two classical facts frame the paper's results:
+
+* coloring an n-vertex path (hence any tree) with **2** colors requires
+  ``Omega(n)`` rounds — this is why Corollary 1.4 excludes arboricity 1 and
+  Theorem 1.3 requires ``d >= 3``;
+* coloring trees/paths with **any constant** number of colors requires
+  ``Omega(log* n)`` rounds (Linial), so the polylogarithmic complexity of
+  Theorem 1.3 cannot be improved to ``o(log n)`` in general, and the
+  ``O(log* n)`` of Cole–Vishkin is optimal up to constants.
+
+The first fact follows from Observation 2.4 applied with an odd cycle as
+the obstruction (its balls of radius up to ``(n-3)/2`` look exactly like
+path balls, yet it is 3-chromatic); :func:`path_two_coloring_lower_bound`
+certifies it computationally.  The second is recorded as
+:func:`log_star_floor` (the quantity the Cole–Vishkin round counts are
+compared against in the experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.generators.classic import cycle, path
+from repro.graphs.graph import Graph
+from repro.lowerbounds.indistinguishability import (
+    LowerBoundCertificate,
+    certify_coloring_lower_bound,
+)
+
+__all__ = ["PathLowerBound", "path_two_coloring_lower_bound", "log_star_floor"]
+
+
+def log_star_floor(n: int) -> int:
+    """The iterated logarithm ``log* n`` (number of log2 applications to reach <= 1)."""
+    import math
+
+    count = 0
+    value = float(n)
+    while value > 1.0:
+        value = math.log2(value)
+        count += 1
+        if count > 64:
+            break
+    return count
+
+
+@dataclass
+class PathLowerBound:
+    """Certificate that 2-coloring paths needs more than ``rounds`` rounds."""
+
+    certificate: LowerBoundCertificate
+    obstruction: Graph
+    target: Graph
+
+
+def path_two_coloring_lower_bound(n: int, rounds: int) -> PathLowerBound:
+    """Certify that no ``rounds``-round algorithm 2-colors every n-vertex path.
+
+    The obstruction is the odd cycle ``C_m`` with ``m = 2*rounds + 5``
+    (3-chromatic); all its balls of radius ``rounds + 1`` are paths, which
+    also occur in the n-vertex path provided ``n`` is large enough.
+    """
+    m = 2 * (rounds + 1) + 3
+    if m > n:
+        raise ValueError("n too small for the requested number of rounds")
+    obstruction = cycle(m)
+    target = path(max(n, m + 2 * (rounds + 2)))
+    certificate = certify_coloring_lower_bound(
+        obstruction,
+        target,
+        rounds=rounds,
+        colors=2,
+        obstruction_chromatic_lower_bound=3,
+        sample_obstruction_vertices=[0],  # cycles are vertex-transitive
+    )
+    return PathLowerBound(certificate, obstruction, target)

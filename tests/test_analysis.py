@@ -1,0 +1,48 @@
+"""Tests for the experiment harness and curve fitting."""
+
+import math
+
+import pytest
+
+from repro.analysis import ExperimentRunner, fit_polylog, normalized_by_polylog
+
+
+def test_runner_collects_rows_and_renders_table():
+    runner = ExperimentRunner("demo")
+    runner.add("n=10", "ours", colors=4, rounds=100)
+    runner.add("n=20", "ours", colors=4, rounds=180)
+    runner.add("n=10", "baseline", colors=7, rounds=20)
+    row = runner.run("n=30", "ours", lambda: {"colors": 5, "rounds": 250})
+    assert row.metrics["colors"] == 5
+    table = runner.to_table()
+    assert "instance" in table and "baseline" in table and "rounds" in table
+    assert runner.metric_series("ours", "colors") == [4, 4, 5]
+    assert runner.metric_columns() == ["colors", "rounds"]
+
+
+def test_fit_polylog_recovers_exponent():
+    ns = [100, 400, 1600, 6400, 25600]
+    rounds = [3.0 * math.log2(n) ** 3 for n in ns]
+    fit = fit_polylog(ns, rounds)
+    assert fit.exponent == pytest.approx(3.0, abs=0.05)
+    assert fit.coefficient == pytest.approx(3.0, rel=0.1)
+    assert fit.predict(100) == pytest.approx(rounds[0], rel=0.05)
+
+
+def test_fit_polylog_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_polylog([10], [5])
+
+
+def test_normalized_by_polylog_bounded_for_polylog_data():
+    ns = [64, 256, 1024, 4096]
+    rounds = [2.0 * math.log2(n) ** 3 for n in ns]
+    values = normalized_by_polylog(ns, rounds, power=3)
+    assert max(values) / min(values) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_normalized_by_polylog_detects_linear_growth():
+    ns = [64, 256, 1024, 4096]
+    rounds = [float(n) for n in ns]
+    values = normalized_by_polylog(ns, rounds, power=3)
+    assert values[-1] > values[0] * 5

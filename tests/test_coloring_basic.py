@@ -1,0 +1,202 @@
+"""Tests for list assignments, verification, greedy and exact coloring."""
+
+import pytest
+
+from repro.coloring.assignment import ListAssignment, random_lists, uniform_lists
+from repro.coloring.exact import (
+    chromatic_number,
+    is_k_colorable,
+    list_coloring_search,
+)
+from repro.coloring.greedy import (
+    degeneracy_greedy_coloring,
+    dsatur_coloring,
+    greedy_coloring,
+    greedy_list_coloring,
+)
+from repro.coloring.verification import (
+    is_complete,
+    is_proper_coloring,
+    number_of_colors,
+    respects_lists,
+    verify_coloring,
+    verify_list_coloring,
+)
+from repro.errors import ColoringError, ListAssignmentError
+from repro.graphs.generators import classic, planar, surfaces
+
+
+# -- list assignments ---------------------------------------------------------
+
+def test_uniform_lists():
+    g = classic.cycle(5)
+    lists = uniform_lists(g, 3)
+    assert lists.minimum_size() == 3
+    assert lists.covers(g)
+    assert lists.palette() == frozenset({1, 2, 3})
+
+
+def test_random_lists_sizes_and_determinism():
+    g = classic.cycle(6)
+    a = random_lists(g, 3, seed=1)
+    b = random_lists(g, 3, seed=1)
+    assert all(len(a[v]) == 3 for v in g)
+    assert a.as_dict() == b.as_dict()
+    with pytest.raises(ListAssignmentError):
+        random_lists(g, 4, palette_size=3)
+
+
+def test_list_assignment_missing_vertex():
+    lists = ListAssignment({1: {1, 2}})
+    with pytest.raises(ListAssignmentError):
+        lists[2]
+    assert lists.get(2) == frozenset()
+
+
+def test_restrict_and_without_colors():
+    g = classic.path(4)
+    lists = uniform_lists(g, 3)
+    restricted = lists.restrict([0, 1])
+    assert len(restricted) == 2
+    removed = lists.without_colors({0: [1, 2]})
+    assert removed[0] == frozenset({3})
+    assert removed[1] == frozenset({1, 2, 3})
+
+
+def test_pruned_by_coloring_observation_5_1():
+    g = classic.star(3)
+    lists = uniform_lists(g, 3)
+    pruned = lists.pruned_by_coloring(g, {1: 1, 2: 2})
+    assert pruned[0] == frozenset({3})
+    assert 1 not in pruned  # colored vertices dropped
+    # Observation 5.1: |L'(v)| >= d - d_G(v) + d_H(v)
+    assert len(pruned[0]) >= 3 - g.degree(0) + 1
+
+
+def test_require_minimum():
+    g = classic.path(3)
+    lists = uniform_lists(g, 2)
+    lists.require_minimum(g, 2)
+    with pytest.raises(ListAssignmentError):
+        lists.require_minimum(g, 3)
+
+
+# -- verification --------------------------------------------------------------
+
+def test_verification_predicates():
+    g = classic.cycle(4)
+    good = {0: 1, 1: 2, 2: 1, 3: 2}
+    bad = {0: 1, 1: 1, 2: 1, 3: 2}
+    partial = {0: 1}
+    assert is_proper_coloring(g, good)
+    assert not is_proper_coloring(g, bad)
+    assert is_complete(g, good)
+    assert not is_complete(g, partial)
+    assert number_of_colors(good) == 2
+    lists = uniform_lists(g, 2)
+    assert respects_lists(good, lists)
+    assert not respects_lists({0: 7}, lists)
+
+
+def test_verify_coloring_raises():
+    g = classic.cycle(4)
+    verify_coloring(g, {0: 1, 1: 2, 2: 1, 3: 2})
+    with pytest.raises(ColoringError):
+        verify_coloring(g, {0: 1, 1: 1, 2: 1, 3: 2})
+    with pytest.raises(ColoringError):
+        verify_coloring(g, {0: 1})
+    with pytest.raises(ColoringError):
+        verify_list_coloring(g, {0: 9, 1: 2, 2: 9, 3: 2}, uniform_lists(g, 2))
+
+
+# -- greedy --------------------------------------------------------------------
+
+def test_greedy_coloring_proper_and_bounded():
+    g = planar.delaunay_triangulation(40, seed=1)
+    coloring = greedy_coloring(g)
+    verify_coloring(g, coloring)
+    assert number_of_colors(coloring) <= g.max_degree() + 1
+
+
+def test_degeneracy_greedy_coloring_planar():
+    g = planar.stacked_triangulation(40, seed=2)
+    coloring = degeneracy_greedy_coloring(g)
+    verify_coloring(g, coloring)
+    assert number_of_colors(coloring) <= 4  # 3-degenerate
+
+
+def test_dsatur_coloring():
+    g = classic.complete_bipartite(4, 4)
+    coloring = dsatur_coloring(g)
+    verify_coloring(g, coloring)
+    assert number_of_colors(coloring) == 2
+
+
+def test_greedy_list_coloring_success_and_failure():
+    g = classic.path(4)
+    lists = uniform_lists(g, 2)
+    coloring = greedy_list_coloring(g, lists)
+    verify_list_coloring(g, coloring, lists)
+    # adversarial order on a triangle with 2-lists must fail
+    t = classic.complete_graph(3)
+    with pytest.raises(ColoringError):
+        greedy_list_coloring(t, uniform_lists(t, 2))
+
+
+def test_greedy_list_coloring_respects_partial():
+    g = classic.path(3)
+    lists = uniform_lists(g, 2)
+    coloring = greedy_list_coloring(g, lists, partial={1: 2})
+    assert coloring[1] == 2
+    verify_list_coloring(g, coloring, lists)
+
+
+# -- exact ----------------------------------------------------------------------
+
+def test_chromatic_number_of_classic_graphs():
+    assert chromatic_number(classic.complete_graph(5)) == 5
+    assert chromatic_number(classic.cycle(7)) == 3
+    assert chromatic_number(classic.cycle(8)) == 2
+    assert chromatic_number(classic.random_tree(12, seed=3)) == 2
+    assert chromatic_number(classic.empty_graph(4)) == 1
+
+
+def test_chromatic_number_upper_bound_enforced():
+    with pytest.raises(ValueError):
+        chromatic_number(classic.complete_graph(5), upper_bound=3)
+
+
+def test_is_k_colorable():
+    assert is_k_colorable(classic.cycle(5), 3)
+    assert not is_k_colorable(classic.cycle(5), 2)
+    assert is_k_colorable(classic.empty_graph(0), 0)
+
+
+def test_list_coloring_search_finds_and_refutes():
+    g = classic.cycle(4)
+    solvable = ListAssignment({0: {1}, 1: {1, 2}, 2: {1}, 3: {1, 2}})
+    result = list_coloring_search(g, solvable)
+    assert result is not None
+    verify_list_coloring(g, result, solvable)
+    unsolvable = ListAssignment({0: {1}, 1: {1}, 2: {1}, 3: {1}})
+    assert list_coloring_search(g, unsolvable) is None
+
+
+def test_list_coloring_search_respects_partial():
+    g = classic.path(3)
+    lists = uniform_lists(g, 2)
+    result = list_coloring_search(g, lists, partial={0: 1})
+    assert result[0] == 1
+    verify_list_coloring(g, result, lists)
+
+
+def test_cycle_power_chromatic_numbers():
+    """chi(C_n(1,2,3)) is 4 when 4 | n and 5 otherwise (n >= 13)."""
+    assert chromatic_number(surfaces.cycle_power(16, 3), upper_bound=6) == 4
+    assert chromatic_number(surfaces.cycle_power(13, 3), upper_bound=6) == 5
+
+
+def test_klein_grid_is_4_chromatic():
+    g = surfaces.klein_bottle_grid(5, 5)
+    assert chromatic_number(g, upper_bound=6) == 4
+    assert not is_k_colorable(g, 3)

@@ -1,0 +1,153 @@
+"""Tests for Corollary 2.1 (Brooks), Theorem 6.1 (nice lists) and Corollary 2.11 (genus)."""
+
+import pytest
+
+from repro.coloring.assignment import ListAssignment, uniform_lists
+from repro.coloring.verification import verify_list_coloring
+from repro.core import (
+    brooks_list_coloring,
+    color_embedded_graph,
+    genus_color_budget,
+    is_nice_list_assignment,
+    nice_list_coloring,
+)
+from repro.errors import ListAssignmentError
+from repro.graphs.generators import classic, planar, surfaces
+
+
+# -- Corollary 2.1 -----------------------------------------------------------------
+
+@pytest.mark.parametrize("n,d", [(30, 3), (40, 4), (30, 5)])
+def test_brooks_on_regular_graphs(n, d):
+    g = classic.random_regular_graph(n, d, seed=d)
+    result = brooks_list_coloring(g)
+    assert result.succeeded
+    assert result.colors_used() <= d
+    verify_list_coloring(g, result.coloring, uniform_lists(g, d))
+
+
+def test_brooks_detects_clique_component():
+    g = classic.complete_graph(5)
+    extra = classic.random_regular_graph(20, 4, seed=1).relabeled(
+        {i: ("r", i) for i in range(20)}
+    )
+    for v in extra.vertices():
+        g.add_vertex(v)
+    for u, v in extra.edges():
+        g.add_edge(u, v)
+    result = brooks_list_coloring(g, max_degree=4, verify=False)
+    assert not result.succeeded
+    assert len(result.clique) == 5
+
+
+def test_brooks_requires_degree_three():
+    with pytest.raises(ValueError):
+        brooks_list_coloring(classic.cycle(8))
+
+
+def test_brooks_with_lists():
+    g = classic.random_regular_graph(24, 4, seed=2)
+    from repro.coloring.assignment import random_lists
+
+    lists = random_lists(g, 4, palette_size=8, seed=2)
+    result = brooks_list_coloring(g, lists=lists)
+    assert result.succeeded
+    verify_list_coloring(g, result.coloring, lists)
+
+
+def test_brooks_on_non_regular_graph():
+    g = planar.delaunay_triangulation(50, seed=3)
+    delta = g.max_degree()
+    result = brooks_list_coloring(g)
+    assert result.succeeded
+    assert result.colors_used() <= delta
+
+
+# -- Theorem 6.1 (nice lists) --------------------------------------------------------
+
+def nice_lists_for(graph, palette_offset=0):
+    """Construct the minimal nice list assignment: d(v) or d(v)+1 colors."""
+    from repro.graphs.properties.cliques import is_clique
+
+    lists = {}
+    for v in graph:
+        degree = graph.degree(v)
+        size = degree
+        if degree <= 2 or is_clique(graph, graph.neighbors(v)):
+            size = degree + 1
+        lists[v] = frozenset(range(1 + palette_offset, size + 1 + palette_offset))
+    return ListAssignment(lists)
+
+
+def test_is_nice_list_assignment():
+    g = classic.cycle(6)
+    assert is_nice_list_assignment(g, uniform_lists(g, 3))
+    assert not is_nice_list_assignment(g, uniform_lists(g, 2))  # degree-2 vertices need 3
+    grid = classic.grid_2d(3, 3)
+    assert is_nice_list_assignment(grid, nice_lists_for(grid))
+
+
+@pytest.mark.parametrize("maker,kwargs", [
+    (classic.grid_2d, {"rows": 4, "cols": 5}),
+    (planar.stacked_triangulation, {"n_vertices": 30, "seed": 4}),
+    (classic.random_regular_graph, {"n": 24, "d": 4, "seed": 5}),
+])
+def test_theorem_6_1_nice_list_coloring(maker, kwargs):
+    g = maker(**kwargs)
+    lists = nice_lists_for(g)
+    result = nice_list_coloring(g, lists)
+    verify_list_coloring(g, result.coloring, lists)
+    assert result.rounds > 0
+
+
+def test_theorem_6_1_path_with_clique_attachments():
+    """The Section 6 motivating example: cliques attached along a path."""
+    g = classic.path(8)
+    for i in range(8):
+        g.add_edges([(i, ("a", i)), (i, ("b", i)), (("a", i), ("b", i))])
+    lists = nice_lists_for(g)
+    result = nice_list_coloring(g, lists)
+    verify_list_coloring(g, result.coloring, lists)
+
+
+def test_theorem_6_1_rejects_non_nice_lists():
+    g = classic.cycle(6)
+    with pytest.raises(ListAssignmentError):
+        nice_list_coloring(g, uniform_lists(g, 2))
+
+
+def test_theorem_6_1_empty_graph():
+    from repro.graphs import Graph
+
+    result = nice_list_coloring(Graph(), ListAssignment({}), check_nice=False)
+    assert result.coloring == {}
+
+
+# -- Corollary 2.11 (genus) -----------------------------------------------------------
+
+def test_genus_color_budget_values():
+    # torus / Klein bottle: Euler genus 2, Heawood number 7, improved budget 6
+    assert genus_color_budget(2, improved=False) == 7
+    assert genus_color_budget(2, improved=True) == 6
+    # Euler genus 1 (projective plane): H = 6, bound (5+5)/2=5 integer -> improved 5
+    assert genus_color_budget(1, improved=True) == 5
+
+
+@pytest.mark.parametrize("improved,budget", [(False, 7), (True, 6)])
+def test_corollary_2_11_toroidal_triangulation(improved, budget):
+    g = surfaces.toroidal_triangular_grid(6, 6)
+    result = color_embedded_graph(g, euler_genus=2, improved=improved)
+    assert result.succeeded
+    assert result.colors_used() <= budget
+
+
+def test_corollary_2_11_k7_reports_clique():
+    k7 = classic.complete_graph(7)  # K7 embeds on the torus
+    result = color_embedded_graph(k7, euler_genus=2, improved=True, verify=False)
+    assert not result.succeeded
+    assert len(result.clique) == 7
+
+
+def test_corollary_2_11_rejects_planar_genus():
+    with pytest.raises(ValueError):
+        color_embedded_graph(classic.cycle(5), euler_genus=0)

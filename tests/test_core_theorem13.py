@@ -1,0 +1,205 @@
+"""Integration tests for Theorem 1.3 and its corollaries (the paper's main results)."""
+
+import pytest
+
+from repro.coloring.assignment import random_lists, uniform_lists
+from repro.coloring.verification import verify_list_coloring
+from repro.core import (
+    color_bounded_arboricity_graph,
+    color_high_girth_planar_graph,
+    color_planar_graph,
+    color_sparse_graph,
+    color_triangle_free_planar_graph,
+)
+from repro.core.extension import extend_coloring_to_happy_set
+from repro.core.happy import classify_vertices
+from repro.graphs.generators import classic, planar, sparse
+
+
+# -- Theorem 1.3, uniform lists ---------------------------------------------------
+
+@pytest.mark.parametrize("maker,kwargs,d", [
+    (sparse.union_of_random_forests, {"n": 60, "arboricity": 2, "seed": 1}, 4),
+    (sparse.random_degenerate_graph, {"n": 60, "degeneracy": 2, "seed": 2}, 4),
+    (classic.random_regular_graph, {"n": 40, "d": 4, "seed": 3}, 4),
+    (planar.stacked_triangulation, {"n_vertices": 50, "seed": 4}, 6),
+    (planar.outerplanar_fan, {"n": 40}, 4),
+    (classic.grid_2d, {"rows": 6, "cols": 7}, 4),
+])
+def test_theorem_1_3_colors_within_budget(maker, kwargs, d):
+    g = maker(**kwargs)
+    result = color_sparse_graph(g, d=d)
+    assert result.succeeded
+    assert result.colors_used() <= d
+    verify_list_coloring(g, result.coloring, uniform_lists(g, d))
+    assert result.rounds > 0
+
+
+def test_theorem_1_3_rejects_small_d():
+    with pytest.raises(ValueError):
+        color_sparse_graph(classic.cycle(5), d=2)
+
+
+def test_theorem_1_3_finds_clique():
+    g = classic.complete_graph(5)
+    # embed the K5 into a sparse context
+    for i in range(10):
+        g.add_edge(0, ("leaf", i))
+    result = color_sparse_graph(g, d=4, verify=False)
+    assert not result.succeeded
+    assert result.clique is not None
+    assert len(result.clique) == 5
+
+
+def test_theorem_1_3_empty_graph():
+    from repro.graphs import Graph
+
+    result = color_sparse_graph(Graph(), d=3)
+    assert result.succeeded
+    assert result.coloring == {}
+
+
+def test_theorem_1_3_with_list_assignments():
+    g = sparse.union_of_random_forests(50, 2, seed=5)
+    lists = random_lists(g, 4, palette_size=9, seed=5)
+    result = color_sparse_graph(g, d=4, lists=lists)
+    assert result.succeeded
+    verify_list_coloring(g, result.coloring, lists)
+
+
+def test_theorem_1_3_d_regular_with_lists():
+    """The hardest regime: d-regular graphs (no slack vertices anywhere)."""
+    g = classic.random_regular_graph(36, 4, seed=6)
+    lists = random_lists(g, 4, palette_size=8, seed=6)
+    result = color_sparse_graph(g, d=4, lists=lists)
+    assert result.succeeded
+    verify_list_coloring(g, result.coloring, lists)
+
+
+def test_theorem_1_3_small_radius_variant():
+    """Correctness is preserved with a smaller (practical) radius."""
+    g = planar.stacked_triangulation(40, seed=7)
+    result = color_sparse_graph(g, d=6, radius=3)
+    assert result.succeeded
+    assert result.colors_used() <= 6
+
+
+def test_theorem_1_3_round_accounting_structure():
+    g = sparse.union_of_random_forests(40, 2, seed=8)
+    result = color_sparse_graph(g, d=4)
+    phases = result.ledger.by_phase()
+    assert any("Lemma 3.1" in phase for phase in phases)
+    assert any("Lemma 3.2" in phase for phase in phases)
+    assert result.rounds == result.ledger.total()
+
+
+def test_theorem_1_3_uses_at_most_floor_mad_colors_vs_greedy():
+    """On planar triangulations the greedy bound is 7 colors; Theorem 1.3 gives 6."""
+    g = planar.stacked_triangulation(60, seed=9)
+    result = color_planar_graph(g)
+    assert result.colors_used() <= 6
+
+
+# -- Lemma 3.2 in isolation ---------------------------------------------------------
+
+def test_extension_step_extends_partial_coloring():
+    g = planar.stacked_triangulation(40, seed=10)
+    d = 6
+    lists = uniform_lists(g, d)
+    cls = classify_vertices(g, d=d, radius=4)
+    rest = [v for v in g if v not in cls.happy]
+    base = {}
+    from repro.coloring.greedy import greedy_list_coloring
+    from repro.graphs.properties.degeneracy import degeneracy_ordering
+
+    sub = g.subgraph(rest)
+    _, order = degeneracy_ordering(sub)
+    base = greedy_list_coloring(sub, lists.restrict(rest), list(reversed(order)))
+    coloring, report = extend_coloring_to_happy_set(
+        g, lists, happy=cls.happy, rich=cls.rich, coloring=base, radius=4, d=d
+    )
+    verify_list_coloring(g, coloring, lists)
+    assert report.roots >= 1
+    assert report.rounds > 0
+
+
+def test_extension_with_no_happy_vertices_is_identity():
+    g = classic.cycle(6)
+    lists = uniform_lists(g, 3)
+    coloring = {v: 1 + (v % 2) for v in g}
+    new, report = extend_coloring_to_happy_set(
+        g, lists, happy=set(), rich=set(g.vertices()), coloring=coloring, radius=2, d=3
+    )
+    assert new == coloring
+    assert report.roots == 0
+
+
+# -- Corollary 2.3 (planar) -----------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_corollary_2_3_planar_six_colors(seed):
+    g = planar.delaunay_triangulation(60, seed=seed)
+    result = color_planar_graph(g)
+    assert result.succeeded and result.colors_used() <= 6
+
+
+def test_corollary_2_3_triangle_free_four_colors():
+    g = planar.triangle_free_planar(60, seed=2)
+    result = color_triangle_free_planar_graph(g)
+    assert result.succeeded and result.colors_used() <= 4
+
+
+def test_corollary_2_3_high_girth_three_colors():
+    g = planar.high_girth_planar(80, seed=3)
+    result = color_high_girth_planar_graph(g)
+    assert result.succeeded and result.colors_used() <= 3
+
+
+def test_corollary_2_3_planarity_check_flag():
+    from repro.errors import GraphError
+
+    k5 = classic.complete_graph(5)
+    with pytest.raises(GraphError):
+        color_planar_graph(k5, check_planarity=True)
+
+
+def test_corollary_2_3_with_lists():
+    g = planar.stacked_triangulation(40, seed=4)
+    lists = random_lists(g, 6, palette_size=12, seed=4)
+    result = color_planar_graph(g, lists=lists)
+    assert result.succeeded
+    verify_list_coloring(g, result.coloring, lists)
+
+
+def test_planar_color_budget():
+    from repro.core import planar_color_budget
+
+    assert planar_color_budget(planar.stacked_triangulation(20, seed=5)) == 6
+    assert planar_color_budget(planar.grid_graph(4, 4)) == 4
+    assert planar_color_budget(planar.hexagonal_lattice(2, 2)) == 3
+
+
+# -- Corollary 1.4 (arboricity) --------------------------------------------------------
+
+@pytest.mark.parametrize("a", [2, 3])
+def test_corollary_1_4_two_a_colors(a):
+    g = sparse.union_of_random_forests(60, a, seed=a)
+    result = color_bounded_arboricity_graph(g, arboricity=a)
+    assert result.succeeded
+    assert result.colors_used() <= 2 * a
+
+
+def test_corollary_1_4_rejects_trees():
+    with pytest.raises(ValueError):
+        color_bounded_arboricity_graph(classic.random_tree(20, seed=6), arboricity=1)
+
+
+def test_corollary_1_4_beats_barenboim_elkin_palette():
+    """2a colors vs floor((2+eps)a)+1 for the baseline."""
+    from repro.distributed import barenboim_elkin_coloring
+
+    a = 2
+    g = sparse.union_of_random_forests(80, a, seed=7)
+    ours = color_bounded_arboricity_graph(g, arboricity=a)
+    baseline = barenboim_elkin_coloring(g, arboricity=a, epsilon=1.0)
+    assert ours.colors_used() <= 2 * a < baseline.palette_size

@@ -1,0 +1,160 @@
+"""Tests for the message-passing primitives: Cole–Vishkin, Linial, reduction, greedy."""
+
+from collections import deque
+
+import pytest
+
+from repro.coloring.verification import verify_coloring
+from repro.graphs.generators import classic, planar, sparse
+from repro.lowerbounds.linial_paths import log_star_floor
+from repro.distributed import (
+    cole_vishkin_iterations,
+    color_rooted_forest,
+    delta_plus_one_coloring,
+    greedy_distributed_coloring,
+    linial_schedule,
+)
+from repro.distributed.linial import (
+    ColorReductionAlgorithm,
+    LinialColoringAlgorithm,
+    _next_prime,
+    _polynomial_value,
+)
+from repro.local.simulator import run_node_algorithm
+
+
+def bfs_parents(graph, root):
+    parents = {root: None}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in parents:
+                parents[w] = u
+                queue.append(w)
+    return parents
+
+
+def forest_parents(graph):
+    parents = {}
+    for component in graph.connected_components():
+        sub_root = next(iter(component))
+        parents.update(bfs_parents(graph.subgraph(component), sub_root))
+    return parents
+
+
+# -- Cole–Vishkin -------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [2, 10, 63, 200])
+def test_cole_vishkin_on_paths(n):
+    g = classic.path(n)
+    result = color_rooted_forest(g, bfs_parents(g, 0))
+    assert result.finished
+    colors = result.outputs
+    assert set(colors.values()) <= {0, 1, 2}
+    assert all(colors[u] != colors[v] for u, v in g.edges())
+
+
+def test_cole_vishkin_on_random_trees_and_forests():
+    for seed in range(4):
+        t = classic.random_tree(60, seed=seed)
+        result = color_rooted_forest(t, bfs_parents(t, 0))
+        verify_coloring(t, result.outputs)
+        assert set(result.outputs.values()) <= {0, 1, 2}
+    forest = classic.random_tree(20, seed=9)
+    forest2 = classic.random_tree(15, seed=10).relabeled({i: ("b", i) for i in range(15)})
+    for v in forest2.vertices():
+        forest.add_vertex(v)
+    for u, v in forest2.edges():
+        forest.add_edge(u, v)
+    result = color_rooted_forest(forest, forest_parents(forest))
+    verify_coloring(forest, result.outputs)
+
+
+def test_cole_vishkin_round_complexity_is_log_star_like():
+    """Rounds grow far slower than log n — compare against c*(log* n + constant)."""
+    rounds = {}
+    for n in (20, 200, 2000):
+        g = classic.path(n)
+        rounds[n] = color_rooted_forest(g, bfs_parents(g, 0)).rounds
+    # doubling n by 10x should barely change the round count
+    assert rounds[2000] <= rounds[20] + 6
+    for n, r in rounds.items():
+        assert r <= 4 * (log_star_floor(n) + 10)
+
+
+def test_cole_vishkin_iterations_monotone_small():
+    assert cole_vishkin_iterations(10) <= cole_vishkin_iterations(10**6)
+    assert cole_vishkin_iterations(10**6) < 12
+
+
+# -- Linial -------------------------------------------------------------------
+
+def test_next_prime_and_polynomial():
+    assert _next_prime(1) == 2
+    assert _next_prime(7) == 11
+    assert _next_prime(10) == 11
+    # polynomial with coefficients of 11 base 5 = [1, 2] -> p(x) = 1 + 2x mod 5
+    assert _polynomial_value(11, 0, 5, 1) == 1
+    assert _polynomial_value(11, 3, 5, 1) == (1 + 6) % 5
+
+
+def test_linial_schedule_shrinks():
+    schedule = linial_schedule(10_000, 4)
+    sizes = [m for m, _q, _d in schedule]
+    assert sizes == sorted(sizes, reverse=True)
+    assert len(schedule) <= 8
+    for m, q, d in schedule:
+        assert q ** (d + 1) >= m
+        assert q > d * 4
+
+
+def test_linial_coloring_is_proper_and_small_palette():
+    g = classic.random_regular_graph(60, 4, seed=1)
+    run = run_node_algorithm(g, LinialColoringAlgorithm, inputs={v: 4 for v in g})
+    colors = {v: c for v, (c, _p) in run.outputs.items()}
+    verify_coloring(g, colors)
+    palette = max(p for _c, p in run.outputs.values())
+    assert palette <= 200  # O(Delta^2)-ish, far below n
+
+
+def test_color_reduction_to_delta_plus_one():
+    g = classic.random_regular_graph(40, 3, seed=2)
+    # start from the identity coloring with n colors
+    initial = {v: i for i, v in enumerate(g.vertices())}
+    inputs = {v: (initial[v], len(g), 3) for v in g}
+    run = run_node_algorithm(g, ColorReductionAlgorithm, inputs=inputs, max_rounds=len(g) + 5)
+    verify_coloring(g, run.outputs)
+    assert set(run.outputs.values()) <= set(range(4))
+
+
+@pytest.mark.parametrize("maker,args", [
+    (classic.random_regular_graph, (50, 4)),
+    (planar.delaunay_triangulation, (50,)),
+    (sparse.union_of_random_forests, (50, 2)),
+])
+def test_delta_plus_one_composition(maker, args):
+    g = maker(*args, seed=3)
+    result = delta_plus_one_coloring(g)
+    verify_coloring(g, result.coloring)
+    assert len(set(result.coloring.values())) <= g.max_degree() + 1
+    assert result.rounds > 0
+
+
+def test_delta_plus_one_on_empty_and_isolated():
+    from repro.graphs import Graph
+
+    assert delta_plus_one_coloring(Graph()).coloring == {}
+    g = Graph(vertices=[1, 2, 3])
+    result = delta_plus_one_coloring(g)
+    assert set(result.coloring) == {1, 2, 3}
+
+
+# -- greedy baseline -------------------------------------------------------------
+
+def test_greedy_distributed_coloring():
+    g = planar.stacked_triangulation(60, seed=4)
+    result = greedy_distributed_coloring(g)
+    verify_coloring(g, result.coloring)
+    assert len(set(result.coloring.values())) <= g.max_degree() + 1
+    assert result.rounds <= g.number_of_vertices()

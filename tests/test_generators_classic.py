@@ -1,0 +1,122 @@
+"""Tests for the classic graph generators."""
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graphs.generators import classic
+from repro.graphs.properties.gallai import is_gallai_tree
+from repro.graphs.properties.girth import girth
+
+
+def test_path_and_cycle():
+    p = classic.path(5)
+    assert p.number_of_edges() == 4
+    c = classic.cycle(5)
+    assert c.number_of_edges() == 5
+    assert all(c.degree(v) == 2 for v in c)
+    with pytest.raises(GeneratorError):
+        classic.cycle(2)
+
+
+def test_complete_graph():
+    k5 = classic.complete_graph(5)
+    assert k5.number_of_edges() == 10
+    assert all(k5.degree(v) == 4 for v in k5)
+
+
+def test_complete_bipartite():
+    g = classic.complete_bipartite(3, 4)
+    assert g.number_of_edges() == 12
+    assert g.max_degree() == 4
+
+
+def test_star():
+    g = classic.star(7)
+    assert g.degree(0) == 7
+    assert g.number_of_edges() == 7
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 10, 50])
+def test_random_tree_is_tree(n):
+    t = classic.random_tree(n, seed=n)
+    assert t.number_of_vertices() == n
+    assert t.number_of_edges() == n - 1
+    assert t.is_connected()
+
+
+def test_random_tree_deterministic_with_seed():
+    a = classic.random_tree(20, seed=7)
+    b = classic.random_tree(20, seed=7)
+    assert a == b
+
+
+def test_complete_binary_tree():
+    t = classic.complete_binary_tree(3)
+    assert t.number_of_vertices() == 15
+    assert t.number_of_edges() == 14
+    assert t.is_connected()
+
+
+def test_grid_2d():
+    g = classic.grid_2d(3, 4)
+    assert g.number_of_vertices() == 12
+    assert g.number_of_edges() == 3 * 3 + 2 * 4
+    assert girth(g) == 4
+
+
+def test_random_graph_gnp_density():
+    g = classic.random_graph_gnp(30, 0.0, seed=1)
+    assert g.number_of_edges() == 0
+    g2 = classic.random_graph_gnp(10, 1.0, seed=1)
+    assert g2.number_of_edges() == 45
+
+
+@pytest.mark.parametrize("n,d", [(10, 3), (20, 4), (13, 4)])
+def test_random_regular_graph(n, d):
+    g = classic.random_regular_graph(n, d, seed=3)
+    assert all(g.degree(v) == d for v in g)
+
+
+def test_random_regular_graph_parity_check():
+    with pytest.raises(GeneratorError):
+        classic.random_regular_graph(7, 3)
+
+
+def test_gallai_tree_generator():
+    g = classic.gallai_tree([("clique", 4), ("odd_cycle", 5), ("clique", 3)])
+    assert is_gallai_tree(g)
+
+
+def test_gallai_tree_generator_validation():
+    with pytest.raises(GeneratorError):
+        classic.gallai_tree([("odd_cycle", 4)])
+    with pytest.raises(GeneratorError):
+        classic.gallai_tree([("clique", 1)])
+    with pytest.raises(GeneratorError):
+        classic.gallai_tree([("triangle_fan", 3)])
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_gallai_tree_is_gallai(seed):
+    g = classic.random_gallai_tree(6, max_block_size=5, seed=seed)
+    assert is_gallai_tree(g)
+
+
+def test_book_of_cliques():
+    g = classic.book_of_cliques(3, 4)
+    assert g.degree(0) == 9
+    assert is_gallai_tree(g)
+
+
+def test_theta_graph_not_gallai():
+    g = classic.theta_graph([2, 2, 3])
+    assert not is_gallai_tree(g)
+    assert g.degree("a") == 3
+    assert g.degree("b") == 3
+
+
+def test_theta_graph_validation():
+    with pytest.raises(GeneratorError):
+        classic.theta_graph([1, 1])
+    with pytest.raises(GeneratorError):
+        classic.theta_graph([2])

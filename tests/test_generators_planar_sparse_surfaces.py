@@ -1,0 +1,196 @@
+"""Tests for planar, sparse and surface graph generators."""
+
+import pytest
+
+from repro.errors import GeneratorError
+from repro.graphs.generators import planar, sparse, surfaces
+from repro.graphs.properties.girth import girth, has_triangle
+from repro.graphs.properties.mad import maximum_average_degree
+from repro.graphs.properties.planarity import is_planar
+
+
+# ---------------------------------------------------------------------------
+# planar generators
+# ---------------------------------------------------------------------------
+
+def test_wheel_planar():
+    g = planar.wheel(6)
+    assert is_planar(g)
+    assert g.degree("hub") == 6
+
+
+@pytest.mark.parametrize("n", [3, 10, 40])
+def test_apollonian_is_maximal_planar(n):
+    g = planar.stacked_triangulation(n, seed=1)
+    assert g.number_of_vertices() == n
+    assert is_planar(g)
+    if n >= 4:
+        # maximal planar: m = 3n - 6
+        assert g.number_of_edges() == 3 * n - 6
+
+
+def test_delaunay_triangulation_planar():
+    g = planar.delaunay_triangulation(40, seed=2)
+    assert is_planar(g)
+    assert g.is_connected()
+
+
+def test_random_planar_graph_is_planar_and_sparser():
+    full = planar.delaunay_triangulation(40, seed=3)
+    g = planar.random_planar_graph(40, edge_fraction=0.5, seed=3)
+    assert is_planar(g)
+    assert g.number_of_edges() <= full.number_of_edges()
+
+
+def test_grid_graph_triangle_free():
+    g = planar.grid_graph(4, 5)
+    assert not has_triangle(g)
+    assert is_planar(g)
+
+
+def test_hexagonal_lattice_girth_6():
+    g = planar.hexagonal_lattice(2, 3)
+    assert is_planar(g)
+    assert girth(g) == 6
+
+
+def test_triangle_free_planar():
+    g = planar.triangle_free_planar(60, seed=4)
+    assert is_planar(g)
+    assert not has_triangle(g)
+
+
+def test_high_girth_planar():
+    g = planar.high_girth_planar(80, seed=5)
+    assert is_planar(g)
+    assert girth(g) >= 6
+
+
+def test_subdivide_multiplies_girth():
+    base = planar.stacked_triangulation(10, seed=6)
+    sub = planar.subdivide(base, times=1)
+    assert girth(sub) >= 6
+    assert is_planar(sub)
+    assert planar.subdivide(base, times=0) == base
+
+
+def test_outerplanar_fan():
+    g = planar.outerplanar_fan(8)
+    assert is_planar(g)
+    assert g.degree(0) == 7
+
+
+def test_icosahedron():
+    g = planar.icosahedron()
+    assert g.number_of_vertices() == 12
+    assert all(g.degree(v) == 5 for v in g)
+    assert is_planar(g)
+
+
+def test_planar_generator_validation():
+    with pytest.raises(GeneratorError):
+        planar.wheel(2)
+    with pytest.raises(GeneratorError):
+        planar.stacked_triangulation(2)
+    with pytest.raises(GeneratorError):
+        planar.random_planar_graph(20, edge_fraction=1.5)
+
+
+# ---------------------------------------------------------------------------
+# sparse generators
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("a", [1, 2, 3])
+def test_union_of_random_forests_mad_bound(a):
+    g = sparse.union_of_random_forests(40, a, seed=a)
+    assert maximum_average_degree(g) <= 2 * a + 1e-9
+
+
+def test_union_of_random_forests_validation():
+    with pytest.raises(GeneratorError):
+        sparse.union_of_random_forests(1, 2)
+    with pytest.raises(GeneratorError):
+        sparse.union_of_random_forests(10, 0)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_random_degenerate_graph_bound(k):
+    g = sparse.random_degenerate_graph(40, k, seed=k)
+    from repro.graphs.properties.degeneracy import degeneracy
+
+    assert degeneracy(g) <= k
+    assert maximum_average_degree(g) <= 2 * k + 1e-9
+
+
+def test_random_bounded_mad_graph():
+    g = sparse.random_bounded_mad_graph(30, 4.0, seed=7, max_attempts=10)
+    assert maximum_average_degree(g) <= 4.0 + 1e-6
+
+
+def test_near_regular_sparse_graph():
+    g = sparse.near_regular_sparse_graph(30, 4, seed=8)
+    assert all(g.degree(v) == 4 for v in g)
+    from repro.graphs.properties.cliques import find_clique_of_size
+
+    assert find_clique_of_size(g, 5) is None
+
+
+def test_forest_with_extra_edges():
+    g = sparse.forest_with_extra_edges(30, 5, seed=9)
+    assert g.number_of_edges() == 29 + 5
+
+
+# ---------------------------------------------------------------------------
+# surface generators
+# ---------------------------------------------------------------------------
+
+def test_klein_bottle_grid_structure():
+    g = surfaces.klein_bottle_grid(5, 7)
+    assert g.number_of_vertices() == 35
+    # a quadrangulation of a closed surface is 4-regular
+    assert all(g.degree(v) == 4 for v in g)
+
+
+def test_klein_bottle_grid_validation():
+    with pytest.raises(GeneratorError):
+        surfaces.klein_bottle_grid(2, 5)
+
+
+def test_torus_grid_4_regular():
+    g = surfaces.torus_grid(4, 5)
+    assert all(g.degree(v) == 4 for v in g)
+
+
+def test_toroidal_triangular_grid_6_regular():
+    g = surfaces.toroidal_triangular_grid(5, 6)
+    assert all(g.degree(v) == 6 for v in g)
+    assert maximum_average_degree(g) == pytest.approx(6.0)
+
+
+def test_pentagonal_tube_planar_triangle_free():
+    g = surfaces.pentagonal_tube(6)
+    assert is_planar(g)
+    assert not has_triangle(g)
+    assert girth(g) in (4, 5)
+
+
+def test_cycle_power_structure():
+    g = surfaces.cycle_power(13, 3)
+    assert all(g.degree(v) == 6 for v in g)
+    with pytest.raises(GeneratorError):
+        surfaces.cycle_power(6, 3)
+
+
+def test_path_power_planar_3_tree():
+    g = surfaces.path_power(30, 3)
+    assert is_planar(g)
+    assert g.number_of_edges() == 3 * 30 - 6
+
+
+def test_fisk_like_triangulation_validation():
+    with pytest.raises(GeneratorError):
+        surfaces.fisk_like_triangulation(16)  # divisible by 4
+    with pytest.raises(GeneratorError):
+        surfaces.fisk_like_triangulation(11)  # too small
+    g = surfaces.fisk_like_triangulation(21)
+    assert g.metadata["not_4_colorable"]

@@ -1,0 +1,133 @@
+"""Tests for the core Graph data structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph
+from repro.graphs.generators import classic
+
+
+def test_empty_graph():
+    g = Graph()
+    assert len(g) == 0
+    assert g.number_of_edges() == 0
+    assert g.average_degree() == 0.0
+    assert g.is_empty()
+    assert g.is_connected()  # vacuously
+
+
+def test_add_vertices_and_edges():
+    g = Graph()
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)
+    assert set(g.vertices()) == {1, 2, 3}
+    assert g.number_of_edges() == 2
+    assert g.has_edge(1, 2) and g.has_edge(2, 1)
+    assert not g.has_edge(1, 3)
+    assert g.degree(2) == 2
+
+
+def test_add_vertex_idempotent():
+    g = Graph()
+    g.add_vertex("a")
+    g.add_vertex("a")
+    assert len(g) == 1
+
+
+def test_self_loop_rejected():
+    g = Graph()
+    with pytest.raises(GraphError):
+        g.add_edge(1, 1)
+
+
+def test_parallel_edges_collapse():
+    g = Graph()
+    g.add_edge(1, 2)
+    g.add_edge(1, 2)
+    assert g.number_of_edges() == 1
+
+
+def test_remove_edge_and_vertex():
+    g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+    g.remove_edge(1, 2)
+    assert not g.has_edge(1, 2)
+    g.remove_vertex(3)
+    assert 3 not in g
+    assert g.number_of_edges() == 0
+    with pytest.raises(GraphError):
+        g.remove_vertex(99)
+    with pytest.raises(GraphError):
+        g.remove_edge(1, 2)
+
+
+def test_degrees_and_average_degree():
+    g = classic.star(5)
+    assert g.degree(0) == 5
+    assert g.max_degree() == 5
+    assert g.min_degree() == 1
+    assert g.average_degree() == pytest.approx(2 * 5 / 6)
+
+
+def test_subgraph_induced():
+    g = classic.cycle(6)
+    sub = g.subgraph([0, 1, 2, 99])
+    assert set(sub.vertices()) == {0, 1, 2}
+    assert sub.number_of_edges() == 2  # edges (0,1), (1,2); not (2,0)
+
+
+def test_copy_is_independent():
+    g = classic.path(4)
+    h = g.copy()
+    h.add_edge(0, 3)
+    assert not g.has_edge(0, 3)
+    assert h.has_edge(0, 3)
+
+
+def test_connected_components():
+    g = Graph(edges=[(1, 2), (3, 4)], vertices=[5])
+    comps = g.connected_components()
+    assert sorted(sorted(map(str, c)) for c in comps) == [["1", "2"], ["3", "4"], ["5"]]
+    assert not g.is_connected()
+    assert classic.cycle(5).is_connected()
+
+
+def test_bfs_distances_and_ball():
+    g = classic.path(10)
+    dist = g.bfs_distances(0)
+    assert dist[9] == 9
+    truncated = g.bfs_distances(0, radius=3)
+    assert set(truncated) == {0, 1, 2, 3}
+    assert g.ball(5, 2) == {3, 4, 5, 6, 7}
+    with pytest.raises(GraphError):
+        g.bfs_distances(99)
+
+
+def test_networkx_roundtrip():
+    g = classic.cycle(7)
+    nxg = g.to_networkx()
+    back = Graph.from_networkx(nxg)
+    assert back == g
+
+
+def test_relabel_to_integers():
+    g = classic.grid_2d(3, 3)
+    relabeled, mapping = g.relabel_to_integers()
+    assert set(relabeled.vertices()) == set(range(1, 10))
+    assert relabeled.number_of_edges() == g.number_of_edges()
+    assert len(mapping) == 9
+
+
+def test_relabeled_mapping():
+    g = classic.path(3)
+    h = g.relabeled({0: "a", 1: "b", 2: "c"})
+    assert h.has_edge("a", "b") and h.has_edge("b", "c")
+
+
+def test_equality():
+    assert classic.path(4) == classic.path(4)
+    assert classic.path(4) != classic.cycle(4)
+
+
+def test_edges_listed_once():
+    g = classic.complete_graph(5)
+    assert len(g.edges()) == 10

@@ -1,0 +1,179 @@
+"""Tests for the LOCAL-model simulator: network, engine, ball collection, ledger."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs.generators import classic
+from repro.local import (
+    BallCollectionAlgorithm,
+    Network,
+    NodeAlgorithm,
+    RoundLedger,
+    SynchronousSimulator,
+    collect_balls,
+    collect_balls_distributed,
+    run_node_algorithm,
+)
+
+
+# -- network -------------------------------------------------------------------
+
+def test_network_identifiers_are_1_to_n():
+    g = classic.cycle(5)
+    net = Network(g)
+    assert sorted(net.identifier_of.values()) == [1, 2, 3, 4, 5]
+    assert all(net.vertex_of[net.identifier_of[v]] == v for v in g)
+
+
+def test_network_ports_consistent():
+    g = classic.star(4)
+    net = Network(g)
+    for v in g:
+        for port in range(net.degree(v)):
+            u = net.neighbor_on_port(v, port)
+            assert net.neighbor_on_port(u, net.port_towards(u, v)) == v
+
+
+def test_network_identifier_order_override():
+    g = classic.path(3)
+    net = Network(g, identifier_order=[2, 1, 0])
+    assert net.identifier_of[2] == 1
+    with pytest.raises(ValueError):
+        Network(g, identifier_order=[0, 1])
+
+
+# -- simple node programs --------------------------------------------------------
+
+class EchoDegree(NodeAlgorithm):
+    """One-round algorithm: learn the identifiers of all neighbours."""
+
+    def initialize(self, context):
+        super().initialize(context)
+        self.heard = {}
+        self.done = False
+
+    def send(self, round_number):
+        return {p: self.context.identifier for p in range(self.context.degree)}
+
+    def receive(self, round_number, messages):
+        self.heard = dict(messages)
+        self.done = True
+
+    def is_finished(self):
+        return self.done
+
+    def result(self):
+        return sorted(self.heard.values())
+
+
+def test_one_round_neighbor_exchange():
+    g = classic.cycle(6)
+    result = run_node_algorithm(g, EchoDegree)
+    assert result.rounds == 1
+    assert result.finished
+    net = Network(g)
+    for v in g:
+        expected = sorted(net.identifier_of[u] for u in g.neighbors(v))
+        assert result.outputs[v] == expected
+    assert result.messages_sent == 2 * g.number_of_edges()
+
+
+class BadPortSender(NodeAlgorithm):
+    def initialize(self, context):
+        super().initialize(context)
+        self.done = False
+
+    def send(self, round_number):
+        return {99: "boom"}
+
+    def receive(self, round_number, messages):
+        self.done = True
+
+    def is_finished(self):
+        return self.done
+
+
+def test_invalid_port_raises():
+    with pytest.raises(SimulationError):
+        run_node_algorithm(classic.cycle(4), BadPortSender)
+
+
+class NeverFinishes(NodeAlgorithm):
+    def is_finished(self):
+        return False
+
+
+def test_round_limit_reported_as_unfinished():
+    result = run_node_algorithm(classic.path(3), NeverFinishes, max_rounds=5)
+    assert not result.finished
+    assert result.rounds == 5
+
+
+# -- ball collection ---------------------------------------------------------------
+
+@pytest.mark.parametrize("radius", [0, 1, 2, 3])
+def test_ball_collection_matches_centralized(radius):
+    g = classic.grid_2d(4, 4)
+    distributed = collect_balls_distributed(g, radius)
+    assert distributed.finished
+    assert distributed.rounds == radius
+    centralized = collect_balls(g, radius)
+    net = Network(g)
+    for v in g:
+        vertices, _edges = distributed.outputs[v]
+        expected = {net.identifier_of[u] for u in centralized[v]}
+        assert vertices == expected
+
+
+def test_ball_collection_edges_are_within_ball():
+    g = classic.cycle(8)
+    result = collect_balls_distributed(g, 2)
+    for v in g:
+        vertices, edges = result.outputs[v]
+        for edge in edges:
+            assert edge <= vertices
+
+
+# -- ledger -------------------------------------------------------------------------
+
+def test_ledger_totals_and_phases():
+    ledger = RoundLedger()
+    ledger.charge("phase A", 3, reference="ref")
+    ledger.charge("phase A", 2)
+    ledger.charge("phase B", 5)
+    assert ledger.total() == 10
+    assert ledger.by_phase() == {"phase A": 5, "phase B": 5}
+    assert "total rounds: 10" in ledger.summary()
+
+
+def test_ledger_extend_with_prefix():
+    inner = RoundLedger()
+    inner.charge("x", 2)
+    outer = RoundLedger()
+    outer.charge("y", 1)
+    outer.extend(inner, prefix="inner: ")
+    assert outer.total() == 3
+    assert "inner: x" in outer.by_phase()
+
+
+def test_ledger_rejects_negative():
+    ledger = RoundLedger()
+    with pytest.raises(ValueError):
+        ledger.charge("bad", -1)
+
+
+def test_simulator_reuse():
+    g = classic.path(4)
+    sim = SynchronousSimulator(Network(g))
+    r1 = sim.run(EchoDegree)
+    r2 = sim.run(EchoDegree)
+    assert r1.outputs == r2.outputs
+
+
+def test_ball_collection_locality_equivalence():
+    """r rounds of communication give exactly the radius-r ball, no more."""
+    g = classic.path(9)
+    result = collect_balls_distributed(g, 2)
+    net = Network(g)
+    vertices, _ = result.outputs[0]
+    assert vertices == {net.identifier_of[0], net.identifier_of[1], net.identifier_of[2]}

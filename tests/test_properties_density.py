@@ -1,0 +1,206 @@
+"""Tests for density-related properties: mad, arboricity, planarity bounds, balls."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.graphs.generators import classic, planar, sparse, surfaces
+from repro.graphs.properties.arboricity import (
+    arboricity,
+    arboricity_lower_bound,
+    greedy_forest_decomposition,
+)
+from repro.graphs.properties.balls import (
+    all_rooted_balls,
+    ball_subgraph,
+    rooted_ball,
+    rooted_balls_isomorphic,
+)
+from repro.graphs.properties.degeneracy import degeneracy
+from repro.graphs.properties.mad import (
+    densest_subgraph,
+    mad_lower_bound_greedy,
+    maximum_average_degree,
+    maximum_density,
+)
+from repro.graphs.properties.planarity import (
+    heawood_colors,
+    heawood_mad_bound,
+    is_planar,
+    mad_bound_from_girth,
+)
+
+
+# -- maximum average degree --------------------------------------------------
+
+def test_mad_of_simple_graphs():
+    assert maximum_average_degree(classic.path(10)) == pytest.approx(2 * 9 / 10)
+    assert maximum_average_degree(classic.cycle(10)) == pytest.approx(2.0)
+    assert maximum_average_degree(classic.complete_graph(5)) == pytest.approx(4.0)
+
+
+def test_mad_detects_dense_subgraph():
+    g = classic.complete_graph(5)
+    # attach a long path: the densest subgraph is still the K5
+    for i in range(20):
+        g.add_edge(("p", i), ("p", i + 1))
+    g.add_edge(0, ("p", 0))
+    assert maximum_average_degree(g) == pytest.approx(4.0)
+    density, vertices = maximum_density(g)
+    assert density == Fraction(10, 5)
+    assert set(range(5)) <= vertices
+
+
+def test_mad_empty_and_edgeless():
+    from repro.graphs import Graph
+
+    assert maximum_average_degree(Graph()) == 0.0
+    assert maximum_average_degree(Graph(vertices=[1, 2, 3])) == 0.0
+
+
+def test_mad_vs_degeneracy_inequalities():
+    for seed in range(3):
+        g = planar.delaunay_triangulation(30, seed=seed)
+        mad = maximum_average_degree(g)
+        k = degeneracy(g)
+        assert k <= mad + 1e-9 <= 2 * k + 1e-9
+
+
+def test_planar_mad_below_six():
+    g = planar.stacked_triangulation(40, seed=1)
+    assert maximum_average_degree(g) < 6.0
+
+
+def test_mad_greedy_lower_bound():
+    g = planar.delaunay_triangulation(40, seed=2)
+    exact = maximum_average_degree(g)
+    lower = mad_lower_bound_greedy(g)
+    assert lower <= exact + 1e-9
+    assert lower >= exact / 2 - 1e-9
+
+
+def test_densest_subgraph_returns_subgraph():
+    g = classic.complete_bipartite(3, 3)
+    sub = densest_subgraph(g)
+    assert sub.number_of_vertices() >= 2
+    assert sub.average_degree() == pytest.approx(maximum_average_degree(g))
+
+
+# -- arboricity ---------------------------------------------------------------
+
+def test_arboricity_of_forest_and_clique():
+    tree = classic.random_tree(20, seed=3)
+    estimate = arboricity(tree)
+    assert estimate.exact == 1
+    k5 = classic.complete_graph(5)
+    estimate = arboricity(k5)
+    assert estimate.lower == 3
+    assert estimate.upper >= 3
+
+
+def test_arboricity_lower_bound_union_of_forests():
+    g = sparse.union_of_random_forests(30, 3, seed=4)
+    assert arboricity_lower_bound(g) == 3
+
+
+def test_forest_decomposition_is_valid():
+    g = planar.stacked_triangulation(25, seed=5)
+    forests = greedy_forest_decomposition(g)
+    # every edge appears exactly once
+    total = sum(len(f) for f in forests)
+    assert total == g.number_of_edges()
+    # each part is acyclic
+    from repro.graphs import Graph
+
+    for forest_edges in forests:
+        forest = Graph(edges=forest_edges)
+        assert forest.number_of_edges() == sum(
+            len(c) - 1 for c in forest.connected_components()
+        )
+
+
+def test_nash_williams_relation_to_mad():
+    # 2a - 2 <= ceil(mad) <= 2a
+    for seed in range(3):
+        g = sparse.union_of_random_forests(25, 2, seed=seed)
+        estimate = arboricity(g)
+        mad_ceil = math.ceil(maximum_average_degree(g) - 1e-9)
+        assert 2 * estimate.lower - 2 <= mad_ceil <= 2 * estimate.upper
+
+
+# -- planarity bounds ----------------------------------------------------------
+
+def test_is_planar():
+    assert is_planar(planar.delaunay_triangulation(30, seed=6))
+    assert not is_planar(classic.complete_graph(5))
+    assert not is_planar(classic.complete_bipartite(3, 3))
+
+
+def test_mad_bound_from_girth():
+    assert mad_bound_from_girth(3) == pytest.approx(6.0)
+    assert mad_bound_from_girth(4) == pytest.approx(4.0)
+    assert mad_bound_from_girth(6) == pytest.approx(3.0)
+    assert mad_bound_from_girth(math.inf) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        mad_bound_from_girth(2)
+
+
+def test_proposition_2_2_empirically():
+    """Planar graphs of girth >= g have mad < 2g/(g-2)."""
+    g1 = planar.stacked_triangulation(30, seed=7)
+    assert maximum_average_degree(g1) < 6.0
+    g2 = planar.grid_graph(5, 6)
+    assert maximum_average_degree(g2) < 4.0
+    g3 = planar.hexagonal_lattice(2, 3)
+    assert maximum_average_degree(g3) < 3.0
+
+
+def test_heawood_bounds():
+    assert heawood_colors(1) == 6   # projective plane
+    assert heawood_colors(2) == 7   # torus / Klein bottle
+    assert heawood_mad_bound(2) == pytest.approx(6.0)
+    with pytest.raises(ValueError):
+        heawood_mad_bound(0)
+    # the toroidal triangulation attains the genus-2 Heawood mad bound
+    torus = surfaces.toroidal_triangular_grid(5, 5)
+    assert maximum_average_degree(torus) <= heawood_mad_bound(2) + 1e-9
+
+
+# -- balls ---------------------------------------------------------------------
+
+def test_ball_subgraph():
+    g = classic.grid_2d(5, 5)
+    ball = ball_subgraph(g, (2, 2), 1)
+    assert ball.number_of_vertices() == 5
+    assert ball.number_of_edges() == 4
+
+
+def test_rooted_ball_distances():
+    g = classic.cycle(10)
+    ball = rooted_ball(g, 0, 3)
+    assert ball.distances[0] == 0
+    assert max(ball.distances.values()) == 3
+    assert ball.graph.number_of_vertices() == 7
+
+
+def test_rooted_ball_isomorphism_positive_and_negative():
+    grid = classic.grid_2d(7, 7)
+    center_ball = rooted_ball(grid, (3, 3), 2)
+    other_center = rooted_ball(grid, (3, 3), 2)
+    corner_ball = rooted_ball(grid, (0, 0), 2)
+    assert rooted_balls_isomorphic(center_ball, other_center)
+    assert not rooted_balls_isomorphic(center_ball, corner_ball)
+
+
+def test_rooted_ball_isomorphism_across_graphs():
+    cyc = surfaces.cycle_power(25, 3)
+    pth = surfaces.path_power(40, 3)
+    b1 = rooted_ball(cyc, 0, 2)
+    b2 = rooted_ball(pth, 20, 2)
+    assert rooted_balls_isomorphic(b1, b2)
+
+
+def test_all_rooted_balls_count():
+    g = classic.path(6)
+    assert len(all_rooted_balls(g, 1)) == 6

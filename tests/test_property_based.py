@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for core invariants across random inputs."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring.assignment import random_lists, uniform_lists
+from repro.coloring.greedy import degeneracy_greedy_coloring
+from repro.coloring.verification import (
+    is_proper_coloring,
+    respects_lists,
+    verify_coloring,
+)
+from repro.core import classify_vertices, color_sparse_graph
+from repro.graphs.generators import classic, sparse
+from repro.graphs.graph import Graph
+from repro.graphs.properties.arboricity import arboricity
+from repro.graphs.properties.degeneracy import degeneracy
+from repro.graphs.properties.gallai import is_gallai_forest, is_gallai_tree
+from repro.graphs.properties.mad import maximum_average_degree
+from repro.distributed import delta_plus_one_coloring, ruling_forest
+
+
+def random_graph(seed: int, n_max: int = 25, p: float = 0.2) -> Graph:
+    rng = random.Random(seed)
+    n = rng.randint(1, n_max)
+    g = Graph(vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+# -- density invariants -----------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_mad_degeneracy_arboricity_sandwich(seed):
+    g = random_graph(seed)
+    if g.number_of_edges() == 0:
+        return
+    mad = maximum_average_degree(g)
+    k = degeneracy(g)
+    estimate = arboricity(g)
+    # classic inequalities
+    assert k <= mad + 1e-9
+    assert mad <= 2 * k + 1e-9
+    assert 2 * estimate.lower - 2 <= math.ceil(mad - 1e-9)
+    assert math.ceil(mad - 1e-9) <= 2 * estimate.upper
+    # the whole graph's average degree is a lower bound on mad
+    assert g.average_degree() <= mad + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_mad_monotone_under_subgraphs(seed):
+    g = random_graph(seed)
+    rng = random.Random(seed + 1)
+    vertices = g.vertices()
+    subset = [v for v in vertices if rng.random() < 0.7]
+    sub = g.subgraph(subset)
+    assert maximum_average_degree(sub) <= maximum_average_degree(g) + 1e-9
+
+
+# -- Gallai recognition vs. brute force ----------------------------------------------
+
+def brute_force_is_gallai_forest(g: Graph) -> bool:
+    from repro.graphs.properties.blocks import biconnected_components
+
+    for block in biconnected_components(g):
+        sub = g.subgraph(block)
+        k = len(block)
+        is_clique = sub.number_of_edges() == k * (k - 1) // 2
+        is_odd_cycle = (
+            k >= 3
+            and k % 2 == 1
+            and sub.number_of_edges() == k
+            and all(sub.degree(v) == 2 for v in sub)
+        )
+        if not (is_clique or is_odd_cycle):
+            return False
+    return True
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gallai_recognition_matches_brute_force(seed):
+    g = random_graph(seed, n_max=12, p=0.3)
+    assert is_gallai_forest(g) == brute_force_is_gallai_forest(g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), blocks=st.integers(1, 6))
+def test_generated_gallai_trees_recognized(seed, blocks):
+    g = classic.random_gallai_tree(blocks, max_block_size=5, seed=seed)
+    assert is_gallai_tree(g)
+
+
+# -- greedy coloring invariant ---------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_degeneracy_greedy_bound(seed):
+    g = random_graph(seed)
+    coloring = degeneracy_greedy_coloring(g)
+    verify_coloring(g, coloring)
+    assert len(set(coloring.values())) <= degeneracy(g) + 1
+
+
+# -- list assignments ------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 5))
+def test_random_lists_invariants(seed, k):
+    g = random_graph(seed, n_max=15)
+    lists = random_lists(g, k, seed=seed)
+    assert lists.minimum_size() >= k
+    assert lists.covers(g)
+    pruned = lists.pruned_by_coloring(g, {})
+    assert all(pruned[v] == lists[v] for v in g)
+
+
+# -- distributed primitives --------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_delta_plus_one_proper_on_random_graphs(seed):
+    g = random_graph(seed, n_max=20, p=0.25)
+    result = delta_plus_one_coloring(g)
+    assert is_proper_coloring(g, result.coloring)
+    assert len(set(result.coloring.values())) <= max(1, g.max_degree()) + 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), alpha=st.integers(2, 5))
+def test_ruling_forest_domination_random(seed, alpha):
+    g = random_graph(seed, n_max=20, p=0.25)
+    subset = set(g.vertices())
+    forest = ruling_forest(g, subset, alpha)
+    assert subset <= forest.vertices()
+    for r in forest.roots:
+        nearby = g.ball(r, alpha - 1)
+        assert all(other not in nearby for other in forest.roots if other != r)
+
+
+# -- the main theorem end-to-end ----------------------------------------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000), a=st.integers(2, 3))
+def test_theorem_1_3_random_bounded_arboricity(seed, a):
+    g = sparse.union_of_random_forests(30, a, seed=seed)
+    d = 2 * a
+    lists = uniform_lists(g, d)
+    result = color_sparse_graph(g, d=d, lists=lists)
+    assert result.succeeded
+    assert is_proper_coloring(g, result.coloring)
+    assert respects_lists(result.coloring, lists)
+    assert len(set(result.coloring.values())) <= d
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_happy_classification_partitions_vertices(seed):
+    g = sparse.random_degenerate_graph(25, 2, seed=seed)
+    cls = classify_vertices(g, d=4, radius=3)
+    assert cls.happy | cls.sad | cls.poor == set(g.vertices())
+    assert not (cls.happy & cls.sad)
+    assert not (cls.rich & cls.poor)
