@@ -1,4 +1,5 @@
-"""E11/E12 — round complexity of the distributed building blocks.
+"""E11/E12 — round complexity of the distributed building blocks, plus E13,
+the CSR-core speedup tracker.
 
 * Cole–Vishkin 3-colors rooted forests in O(log* n) rounds — the measured
   round counts barely move while n grows by two orders of magnitude, and
@@ -11,12 +12,26 @@
   charged rounds.
 * 2-coloring a path, by contrast, needs Omega(n) rounds (Observation 2.4
   certificate) — the reason Theorem 1.3 requires d >= 3.
+* E13 (:func:`build_csr_speedup`) times the two hottest sequential
+  primitives — degeneracy peeling and ball collection — on the seed
+  dict-of-sets path versus the :class:`FrozenGraph` CSR path, at n = 10,000.
+  Ball collection is measured at the paper-realistic rich-ball radius
+  (``c log2 n`` always exceeds the diameter at simulable sizes, so every
+  ball is a whole component — the regime Lemma 3.1 classification runs in).
+  Running this file as a script exports the machine-readable
+  ``BENCH_primitives.json`` artifact at the repository root so the perf
+  trajectory is diffable across PRs.
 """
 
+import time
 from collections import deque
+from pathlib import Path
 
-from repro.analysis import ExperimentRunner
+from repro.analysis import BatchTask, ExperimentRunner
 from repro.graphs.generators import classic
+from repro.graphs.generators.sparse import union_of_random_forests
+from repro.graphs.properties.degeneracy import _degeneracy_ordering_sets
+from repro.local.ball_collection import collect_balls
 from repro.lowerbounds import log_star_floor, path_two_coloring_lower_bound
 from repro.distributed import (
     color_rooted_forest,
@@ -79,6 +94,103 @@ def build_table() -> ExperimentRunner:
     return runner
 
 
+# -- E13: CSR core speedup --------------------------------------------------
+
+def _measure_degeneracy(n, arboricity, backend, seed=None):
+    """Time one degeneracy-ordering computation (module-level: picklable).
+
+    The CSR timing is taken on a pre-frozen graph; the one-time freeze cost
+    is reported separately (``freeze_seconds``) because it is paid once per
+    graph and amortized over every primitive that runs on the frozen view.
+    """
+    graph = union_of_random_forests(n, arboricity, seed=seed)
+    metrics = {"n": n, "m": graph.number_of_edges()}
+    if backend == "dict":
+        start = time.perf_counter()
+        value = _degeneracy_ordering_sets(graph)[0]
+        metrics["compute_seconds"] = time.perf_counter() - start
+    else:
+        start = time.perf_counter()
+        frozen = graph.freeze()
+        metrics["freeze_seconds"] = time.perf_counter() - start
+        start = time.perf_counter()
+        value = frozen.degeneracy_ordering()[0]
+        metrics["compute_seconds"] = time.perf_counter() - start
+    metrics["degeneracy"] = value
+    return metrics
+
+
+def _measure_balls(n, arboricity, radius, backend, seed=None):
+    """Time one all-vertices ball collection (module-level: picklable)."""
+    graph = union_of_random_forests(n, arboricity, seed=seed)
+    if backend != "dict":
+        graph = graph.freeze()
+    start = time.perf_counter()
+    balls = collect_balls(graph, radius)
+    elapsed = time.perf_counter() - start
+    return {
+        "n": n,
+        "radius": radius,
+        "total_ball_members": sum(len(b) for b in balls.values()),
+        "compute_seconds": elapsed,
+    }
+
+
+def build_csr_speedup(
+    n: int = 10_000, arboricity: int = 3, radius: int = 8, seed: int = 42
+) -> ExperimentRunner:
+    """E13: dict-of-sets vs CSR on the two hottest primitives.
+
+    ``radius`` defaults to a value exceeding the diameter of the instance —
+    the rich-ball regime of Lemma 3.1 (the paper's ``c log2 n`` radius is
+    ~600 at this n).  All four measurements share one deterministic
+    instance, so the comparison is exact; timings are taken inside the
+    tasks around the computation only, and the batch runs serially
+    (``parallel=False``) so concurrent workers cannot skew the timings.
+    """
+    runner = ExperimentRunner(
+        "E13: CSR core — dict-of-sets vs FrozenGraph",
+        metadata={"n": n, "arboricity": arboricity, "radius": radius, "seed": seed},
+    )
+    instance = f"forest_union n={n} a={arboricity}"
+    tasks = [
+        BatchTask(instance, "degeneracy ordering (dict-of-sets)",
+                  _measure_degeneracy, args=(n, arboricity, "dict"),
+                  kwargs={"seed": seed}, seed_arg=None),
+        BatchTask(instance, "degeneracy ordering (CSR)",
+                  _measure_degeneracy, args=(n, arboricity, "csr"),
+                  kwargs={"seed": seed}, seed_arg=None),
+        BatchTask(instance, f"ball collection r={radius} (dict-of-sets)",
+                  _measure_balls, args=(n, arboricity, radius, "dict"),
+                  kwargs={"seed": seed}, seed_arg=None),
+        BatchTask(instance, f"ball collection r={radius} (CSR)",
+                  _measure_balls, args=(n, arboricity, radius, "csr"),
+                  kwargs={"seed": seed}, seed_arg=None),
+    ]
+    runner.run_batch(tasks, parallel=False)
+    for primitive in ("degeneracy ordering", f"ball collection r={radius}"):
+        baseline = runner.metric_series(f"{primitive} (dict-of-sets)", "compute_seconds")
+        csr = runner.metric_series(f"{primitive} (CSR)", "compute_seconds")
+        if baseline and csr and csr[0] > 0:
+            speedup = baseline[0] / csr[0]
+            runner.metadata[f"speedup[{primitive}]"] = round(speedup, 2)
+            runner.add(instance, f"{primitive} speedup", speedup_x=round(speedup, 2))
+    return runner
+
+
+def export_artifact(path: str | None = None) -> Path:
+    """Run both tables and write the ``BENCH_primitives.json`` artifact."""
+    table = build_table()
+    csr = build_csr_speedup()
+    combined = ExperimentRunner("primitives", metadata=dict(csr.metadata))
+    combined.rows = table.rows + csr.rows
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_primitives.json"
+    table.print_table()
+    csr.print_table()
+    return combined.export_json(path)
+
+
 def test_cole_vishkin_rounds(benchmark):
     g = classic.path(500)
     parents = bfs_parents(g, 0)
@@ -96,4 +208,5 @@ def test_primitives_table(capsys):
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    artifact = export_artifact()
+    print(f"\nwrote {artifact}")

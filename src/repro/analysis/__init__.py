@@ -1,7 +1,12 @@
 """Experiment harness and curve fitting used by the benchmarks."""
 
 from repro.analysis.fitting import PolylogFit, fit_polylog, normalized_by_polylog
-from repro.analysis.runner import ExperimentRow, ExperimentRunner
+from repro.analysis.runner import (
+    BatchTask,
+    ExperimentRow,
+    ExperimentRunner,
+    derive_seed,
+)
 
 __all__ = [
     "PolylogFit",
@@ -9,4 +14,6 @@ __all__ = [
     "normalized_by_polylog",
     "ExperimentRow",
     "ExperimentRunner",
+    "BatchTask",
+    "derive_seed",
 ]

@@ -29,7 +29,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.frozen import GraphLike
+from repro.graphs.graph import Vertex
 from repro.graphs.properties.gallai import is_gallai_forest
 
 __all__ = [
@@ -89,7 +90,7 @@ class VertexClassification:
 
 
 def classify_vertices(
-    graph: Graph,
+    graph: GraphLike,
     d: int,
     radius: int | None = None,
     slack_vertices: set[Vertex] | None = None,
@@ -100,7 +101,10 @@ def classify_vertices(
     Parameters
     ----------
     graph:
-        The input graph (the *current* graph of the peeling iteration).
+        The input graph (the *current* graph of the peeling iteration);
+        either representation works, and a
+        :class:`~repro.graphs.frozen.FrozenGraph` input makes the rich
+        subgraph, its components and every ball use the CSR fast paths.
     d:
         The color budget (Theorem 1.3's ``d``).
     radius:

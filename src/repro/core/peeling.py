@@ -22,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ColoringError
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.frozen import FrozenGraph, GraphLike
+from repro.graphs.graph import Vertex
 from repro.local.ledger import RoundLedger
 from repro.core.happy import VertexClassification, classify_vertices, default_rich_ball_radius
 
@@ -64,7 +65,7 @@ class PeelingResult:
 
 
 def peel_happy_layers(
-    graph: Graph,
+    graph: GraphLike,
     d: int,
     radius: int | None = None,
     slack_fn=None,
@@ -76,7 +77,10 @@ def peel_happy_layers(
     Parameters
     ----------
     graph, d:
-        The instance (``d >= max(3, mad(G))``).
+        The instance (``d >= max(3, mad(G))``).  A
+        :class:`~repro.graphs.frozen.FrozenGraph` input keeps every layer
+        on the CSR fast paths (each ``G_{i+1}`` is a vectorized induced
+        subgraph instead of a mutate-in-place copy).
     radius:
         Initial rich-ball radius (defaults to the paper's constant).  If a
         peeling iteration finds no happy vertex, the radius is doubled and
@@ -92,7 +96,8 @@ def peel_happy_layers(
     PeelingResult
     """
     n = graph.number_of_vertices()
-    working = graph.copy()
+    use_frozen = isinstance(graph, FrozenGraph)
+    working = graph if use_frozen else graph.copy()
     result = PeelingResult()
     if n == 0:
         return result
@@ -137,5 +142,10 @@ def peel_happy_layers(
             radius_used=current_radius,
         )
         result.layers.append(layer)
-        working.remove_vertices(classification.happy)
+        if use_frozen:
+            working = working.subgraph(
+                set(working.vertices()) - classification.happy
+            )
+        else:
+            working.remove_vertices(classification.happy)
     return result

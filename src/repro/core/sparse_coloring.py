@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 from repro.coloring.assignment import Color, ListAssignment, uniform_lists
 from repro.coloring.verification import verify_list_coloring
 from repro.errors import ColoringError
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.frozen import GraphLike
+from repro.graphs.graph import Vertex
 from repro.graphs.properties.cliques import find_clique_of_size
 from repro.local.ledger import RoundLedger
 from repro.core.extension import ExtensionReport, extend_coloring_to_happy_set
@@ -68,7 +69,7 @@ class SparseColoringResult:
 
 
 def color_sparse_graph(
-    graph: Graph,
+    graph: GraphLike,
     d: int,
     lists: ListAssignment | None = None,
     radius: int | None = None,
@@ -80,7 +81,10 @@ def color_sparse_graph(
     Parameters
     ----------
     graph:
-        The input graph.  The promise is ``mad(graph) <= d``; it is the
+        The input graph (mutable or frozen; a
+        :class:`~repro.graphs.frozen.FrozenGraph` keeps the peeling and the
+        per-layer subgraphs on the CSR fast paths).  The promise is
+        ``mad(graph) <= d``; it is the
         caller's responsibility (checking it exactly costs a max-flow; see
         :func:`repro.graphs.properties.mad.maximum_average_degree`).
     d:
@@ -138,7 +142,7 @@ def color_sparse_graph(
     # back to the full graph.
     removed_prefix: list[set[Vertex]] = []
     remaining_vertices = set(graph.vertices())
-    graphs_per_layer: list[Graph] = []
+    graphs_per_layer: list[GraphLike] = []
     for layer in peeling.layers:
         graphs_per_layer.append(graph.subgraph(remaining_vertices))
         removed_prefix.append(set(layer.removed))

@@ -1,5 +1,13 @@
-"""Graph substrate: data structure, generators and structural properties."""
+"""Graph substrate: data structures, generators and structural properties.
 
+Two graph representations are provided: the mutable, dict-of-sets
+:class:`Graph` (construction and editing) and the immutable CSR
+:class:`FrozenGraph` (hot read paths); convert with :meth:`Graph.freeze` /
+:meth:`FrozenGraph.thaw`.  Read-only algorithms accept either — see the
+:class:`GraphLike` protocol.
+"""
+
+from repro.graphs.frozen import FrozenGraph, GraphLike, freeze
 from repro.graphs.graph import Edge, Graph, Vertex
 
-__all__ = ["Graph", "Vertex", "Edge"]
+__all__ = ["Graph", "Vertex", "Edge", "FrozenGraph", "GraphLike", "freeze"]

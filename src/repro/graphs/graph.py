@@ -39,6 +39,17 @@ class Graph:
     Vertices may be any hashable object.  Self-loops and parallel edges are
     rejected, matching the setting of the paper (simple graphs).
 
+    ``Graph`` is the *mutable* representation: cheap to build and edit, but
+    every adjacency query pays for hashing.  Read-heavy pipelines (degeneracy
+    peeling, ball collection, the LOCAL simulator, anything at n >= a few
+    thousand) should call :meth:`freeze` once construction is done and hand
+    the resulting :class:`~repro.graphs.frozen.FrozenGraph` — an immutable
+    CSR snapshot with O(1) degrees, array-backed neighbour slices, vectorized
+    BFS/subgraphs and cached global statistics — to the algorithm.  Freezing
+    costs one O(n + m log d) pass; ``FrozenGraph.thaw()`` converts back when
+    mutation is needed again.  Algorithms in :mod:`repro.graphs.properties`,
+    :mod:`repro.core` and :mod:`repro.local` accept either representation.
+
     Parameters
     ----------
     vertices:
@@ -143,14 +154,18 @@ class Graph:
         return list(self._adj)
 
     def edges(self) -> list[Edge]:
-        """Return each edge exactly once (endpoints in discovery order)."""
-        seen: set[frozenset[Vertex]] = set()
+        """Return each edge exactly once (endpoints in discovery order).
+
+        Deduplication compares the insertion indices of the endpoints
+        instead of allocating a ``frozenset`` per edge: every edge ``{u, v}``
+        is reported from its earlier-inserted endpoint.
+        """
+        index = {v: i for i, v in enumerate(self._adj)}
         result: list[Edge] = []
-        for u in self._adj:
-            for v in self._adj[u]:
-                key = frozenset((u, v))
-                if key not in seen:
-                    seen.add(key)
+        for u, nbrs in self._adj.items():
+            iu = index[u]
+            for v in nbrs:
+                if iu < index[v]:
                     result.append((u, v))
         return result
 
@@ -275,6 +290,19 @@ class Graph:
     # ------------------------------------------------------------------
     # Interop
     # ------------------------------------------------------------------
+    def freeze(self, use_numpy: bool | None = None):
+        """Return an immutable CSR snapshot (:class:`~repro.graphs.frozen.FrozenGraph`).
+
+        Freeze once at the boundary between construction and computation:
+        the frozen view answers degree/neighbour/subgraph/ball queries from
+        flat arrays and caches global statistics (degeneracy order, core
+        numbers, greedy mad bound) across calls.  ``use_numpy=False`` forces
+        the pure-Python array backend (mainly for tests).
+        """
+        from repro.graphs.frozen import FrozenGraph
+
+        return FrozenGraph.from_graph(self, use_numpy=use_numpy)
+
     def to_networkx(self) -> nx.Graph:
         g = nx.Graph()
         g.add_nodes_from(self._adj)

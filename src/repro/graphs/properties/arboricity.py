@@ -26,7 +26,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.graphs.graph import Edge, Graph, Vertex
+from repro.graphs.frozen import GraphLike
+from repro.graphs.graph import Edge, Vertex
 from repro.graphs.properties.mad import maximum_density
 
 __all__ = [
@@ -62,7 +63,7 @@ class ArboricityEstimate:
         return self.lower if self.lower == self.upper else None
 
 
-def arboricity_lower_bound(graph: Graph) -> int:
+def arboricity_lower_bound(graph: GraphLike) -> int:
     """Nash–Williams lower bound ``max ceil(e_H / (v_H - 1))`` over two witnesses."""
     n = graph.number_of_vertices()
     m = graph.number_of_edges()
@@ -102,7 +103,7 @@ class _UnionFind:
         return True
 
 
-def greedy_forest_decomposition(graph: Graph) -> list[list[Edge]]:
+def greedy_forest_decomposition(graph: GraphLike) -> list[list[Edge]]:
     """Partition the edges of ``graph`` into forests (greedy first-fit).
 
     Each edge is placed into the first forest in which it does not close a
@@ -133,7 +134,7 @@ def greedy_forest_decomposition(graph: Graph) -> list[list[Edge]]:
     return forests
 
 
-def arboricity(graph: Graph) -> ArboricityEstimate:
+def arboricity(graph: GraphLike) -> ArboricityEstimate:
     """Certified bounds (and usually the exact value) of the arboricity."""
     lower = arboricity_lower_bound(graph)
     forests = greedy_forest_decomposition(graph)

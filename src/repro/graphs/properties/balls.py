@@ -15,7 +15,8 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.frozen import GraphLike
+from repro.graphs.graph import Vertex
 
 __all__ = [
     "ball_subgraph",
@@ -27,7 +28,7 @@ __all__ = [
 ]
 
 
-def ball_subgraph(graph: Graph, center: Vertex, radius: int) -> Graph:
+def ball_subgraph(graph: GraphLike, center: Vertex, radius: int) -> GraphLike:
     """The subgraph induced by the ball ``B_radius(center)``."""
     return graph.subgraph(graph.ball(center, radius))
 
@@ -43,14 +44,15 @@ class RootedBall:
     radius:
         The radius the ball was extracted with.
     graph:
-        The induced subgraph on the ball.
+        The induced subgraph on the ball (same representation as the graph
+        the ball was extracted from).
     distances:
         Distance of every ball vertex from the center.
     """
 
     center: Vertex
     radius: int
-    graph: Graph
+    graph: GraphLike
     distances: dict[Vertex, int]
 
     def signature(self) -> tuple:
@@ -58,7 +60,7 @@ class RootedBall:
         return ball_signature(self)
 
 
-def rooted_ball(graph: Graph, center: Vertex, radius: int) -> RootedBall:
+def rooted_ball(graph: GraphLike, center: Vertex, radius: int) -> RootedBall:
     """Extract the rooted ball of ``center`` with the given ``radius``."""
     distances = graph.bfs_distances(center, radius)
     return RootedBall(
@@ -127,6 +129,6 @@ def rooted_balls_isomorphic(first: RootedBall, second: RootedBall) -> bool:
         return matcher.is_isomorphic()
 
 
-def all_rooted_balls(graph: Graph, radius: int) -> list[RootedBall]:
+def all_rooted_balls(graph: GraphLike, radius: int) -> list[RootedBall]:
     """The rooted balls of every vertex of ``graph`` at the given radius."""
     return [rooted_ball(graph, v, radius) for v in graph]

@@ -7,26 +7,82 @@ algorithm (repeatedly remove a vertex of minimum degree); the removal order
 most ``degeneracy + 1`` colors.  The paper's baseline bound
 ``ch(G) <= floor(mad(G)) + 1`` is exactly greedy coloring along such an
 ordering.
+
+All entry points accept either a mutable :class:`Graph` or a
+:class:`~repro.graphs.frozen.FrozenGraph`.  Both are routed through the CSR
+bucket peel of :meth:`FrozenGraph._peel` (O(n + m), no hashing, cached on
+frozen inputs), so the two representations produce *identical* orderings;
+the pre-CSR dict-of-sets implementation is kept as
+:func:`_degeneracy_ordering_sets` as the benchmark baseline.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Sequence
 
+from repro.graphs.frozen import FrozenGraph, GraphLike
 from repro.graphs.graph import Graph, Vertex
 
 __all__ = ["degeneracy", "degeneracy_ordering", "core_numbers", "k_core"]
 
 
-def degeneracy_ordering(graph: Graph) -> tuple[int, list[Vertex]]:
+def degeneracy_ordering(graph: GraphLike) -> tuple[int, list[Vertex]]:
     """Return ``(degeneracy, ordering)``.
 
     The ordering lists vertices in the order in which the peeling algorithm
     removes them; every vertex has at most ``degeneracy`` neighbours *after*
     it in the ordering.
     """
-    import heapq
+    frozen = FrozenGraph.from_graph(graph)
+    return frozen.degeneracy_ordering()
 
+
+def degeneracy(graph: GraphLike) -> int:
+    """The degeneracy of ``graph`` (0 for the empty graph)."""
+    return degeneracy_ordering(graph)[0]
+
+
+def core_numbers(graph: GraphLike) -> dict[Vertex, int]:
+    """Core number of every vertex (the largest k such that v is in the k-core)."""
+    return FrozenGraph.from_graph(graph).core_numbers()
+
+
+def k_core(graph: GraphLike, k: int) -> GraphLike:
+    """The maximal subgraph in which every vertex has degree at least ``k``.
+
+    The result has the same representation as the input (frozen in, frozen
+    out).
+    """
+    cores = core_numbers(graph)
+    return graph.subgraph([v for v, c in cores.items() if c >= k])
+
+
+def greedy_color_along(
+    graph: GraphLike, ordering: Sequence[Vertex]
+) -> dict[Vertex, int]:
+    """Greedy coloring along ``ordering`` *reversed* (later vertices first).
+
+    Along the reverse of a degeneracy ordering every vertex sees at most
+    ``degeneracy`` already-colored neighbours, so at most
+    ``degeneracy + 1`` colors are used.
+    """
+    colors: dict[Vertex, int] = {}
+    for v in reversed(list(ordering)):
+        used = {colors[u] for u in graph.neighbors(v) if u in colors}
+        color = 0
+        while color in used:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def _degeneracy_ordering_sets(graph: Graph) -> tuple[int, list[Vertex]]:
+    """Pre-CSR heap-on-dict-of-sets peeling, kept as the benchmark baseline.
+
+    ``bench_primitives.py`` times this against the CSR bucket peel to record
+    the speedup; it is also a handy independent oracle for parity tests.
+    """
     degrees = graph.degrees()
     remaining: dict[Vertex, set[Vertex]] = {
         v: set(graph.neighbors(v)) for v in graph
@@ -52,64 +108,3 @@ def degeneracy_ordering(graph: Graph) -> tuple[int, list[Vertex]]:
             heapq.heappush(heap, (current[u], repr(u), u))
         remaining[v] = set()
     return degen, ordering
-
-
-def degeneracy(graph: Graph) -> int:
-    """The degeneracy of ``graph`` (0 for the empty graph)."""
-    return degeneracy_ordering(graph)[0]
-
-
-def core_numbers(graph: Graph) -> dict[Vertex, int]:
-    """Core number of every vertex (the largest k such that v is in the k-core)."""
-    degrees = graph.degrees()
-    order = sorted(degrees, key=degrees.get)
-    remaining = {v: set(graph.neighbors(v)) for v in graph}
-    current = dict(degrees)
-    core: dict[Vertex, int] = {}
-    # re-implemented peeling with explicit core bookkeeping (Batagelj–Zaveršnik)
-    processed: set[Vertex] = set()
-    import heapq
-
-    heap = [(d, v) for v, d in degrees.items()]
-    heapq.heapify(heap)
-    k = 0
-    while heap:
-        d, v = heapq.heappop(heap)
-        if v in processed or d != current[v]:
-            continue
-        processed.add(v)
-        k = max(k, current[v])
-        core[v] = k
-        for u in remaining[v]:
-            if u in processed:
-                continue
-            remaining[u].discard(v)
-            current[u] -= 1
-            heapq.heappush(heap, (current[u], u))
-    del order
-    return core
-
-
-def k_core(graph: Graph, k: int) -> Graph:
-    """The maximal subgraph in which every vertex has degree at least ``k``."""
-    cores = core_numbers(graph)
-    return graph.subgraph([v for v, c in cores.items() if c >= k])
-
-
-def greedy_color_along(
-    graph: Graph, ordering: Sequence[Vertex]
-) -> dict[Vertex, int]:
-    """Greedy coloring along ``ordering`` *reversed* (later vertices first).
-
-    Along the reverse of a degeneracy ordering every vertex sees at most
-    ``degeneracy`` already-colored neighbours, so at most
-    ``degeneracy + 1`` colors are used.
-    """
-    colors: dict[Vertex, int] = {}
-    for v in reversed(list(ordering)):
-        used = {colors[u] for u in graph.neighbors(v) if u in colors}
-        color = 0
-        while color in used:
-            color += 1
-        colors[v] = color
-    return colors

@@ -26,7 +26,8 @@ from fractions import Fraction
 
 import networkx as nx
 
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.frozen import FrozenGraph, GraphLike
+from repro.graphs.graph import Vertex
 
 __all__ = [
     "maximum_average_degree",
@@ -36,7 +37,7 @@ __all__ = [
 ]
 
 
-def maximum_density(graph: Graph) -> tuple[Fraction, set[Vertex]]:
+def maximum_density(graph: GraphLike) -> tuple[Fraction, set[Vertex]]:
     """Exact maximum subgraph density ``max |E(H)|/|V(H)|`` and a witness.
 
     Returns ``(density, vertex_set)``; the density of the empty graph is 0.
@@ -74,7 +75,7 @@ def maximum_density(graph: Graph) -> tuple[Fraction, set[Vertex]]:
     return density, set(best_set)
 
 
-def _denser_than(graph: Graph, edges, guess: Fraction) -> set[Vertex]:
+def _denser_than(graph: GraphLike, edges, guess: Fraction) -> set[Vertex]:
     """Return a vertex set inducing density > ``guess`` or an empty set."""
     m = len(edges)
     flow_graph = nx.DiGraph()
@@ -93,7 +94,7 @@ def _denser_than(graph: Graph, edges, guess: Fraction) -> set[Vertex]:
     return {node[1] for node in source_side if isinstance(node, tuple) and node[0] == "__v__"}
 
 
-def maximum_average_degree(graph: Graph) -> float:
+def maximum_average_degree(graph: GraphLike) -> float:
     """Exact maximum average degree ``mad(G)`` as a float.
 
     For an exact rational value use ``2 * maximum_density(graph)[0]``.
@@ -101,44 +102,19 @@ def maximum_average_degree(graph: Graph) -> float:
     return float(2 * maximum_density(graph)[0])
 
 
-def densest_subgraph(graph: Graph) -> Graph:
+def densest_subgraph(graph: GraphLike) -> GraphLike:
     """The densest subgraph of ``graph`` (as an induced subgraph)."""
     _, vertices = maximum_density(graph)
     return graph.subgraph(vertices)
 
 
-def mad_lower_bound_greedy(graph: Graph) -> float:
+def mad_lower_bound_greedy(graph: GraphLike) -> float:
     """A fast lower bound on mad: the best density seen during greedy peeling.
 
     Repeatedly removing a minimum-degree vertex visits n subgraphs; the
     maximum of ``2 m_i / n_i`` over them is a valid lower bound on mad (and
-    at least ``mad / 2`` by the classical 2-approximation analysis).
+    at least ``mad / 2`` by the classical 2-approximation analysis).  The
+    peel runs on the CSR representation (one cached O(n + m) pass shared
+    with :func:`~repro.graphs.properties.degeneracy.degeneracy_ordering`).
     """
-    working = graph.copy()
-    best = working.average_degree()
-    import heapq
-
-    degrees = working.degrees()
-    heap = [(d, v) for v, d in degrees.items()]
-    heapq.heapify(heap)
-    removed: set[Vertex] = set()
-    n = working.number_of_vertices()
-    m = working.number_of_edges()
-    adj = {v: set(working.neighbors(v)) for v in working}
-    while n > 1:
-        while heap:
-            d, v = heapq.heappop(heap)
-            if v not in removed and d == len(adj[v]):
-                break
-        else:
-            break
-        removed.add(v)
-        m -= len(adj[v])
-        n -= 1
-        for u in adj[v]:
-            adj[u].discard(v)
-            heapq.heappush(heap, (len(adj[u]), u))
-        adj[v] = set()
-        if n:
-            best = max(best, 2 * m / n)
-    return best
+    return FrozenGraph.from_graph(graph).peel_density_lower_bound()

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.frozen import FrozenGraph, GraphLike
+from repro.graphs.graph import Vertex
 from repro.local.node import NodeAlgorithm, NodeContext
 from repro.local.simulator import run_node_algorithm
 
@@ -70,16 +71,27 @@ class BallCollectionAlgorithm(NodeAlgorithm):
         return self.known_vertices, self.known_edges
 
 
-def collect_balls_distributed(graph: Graph, radius: int):
+def collect_balls_distributed(graph: GraphLike, radius: int, strict: bool = False):
     """Run :class:`BallCollectionAlgorithm` and return the simulation result."""
     return run_node_algorithm(
         graph,
         BallCollectionAlgorithm,
         inputs={v: radius for v in graph},
         max_rounds=radius + 1,
+        strict=strict,
     )
 
 
-def collect_balls(graph: Graph, radius: int) -> dict[Vertex, set[Vertex]]:
-    """Centralized equivalent: the ball of every vertex at the given radius."""
+def collect_balls(graph: GraphLike, radius: int) -> dict[Vertex, set[Vertex]]:
+    """Centralized equivalent: the ball of every vertex at the given radius.
+
+    A :class:`~repro.graphs.frozen.FrozenGraph` input computes all balls in
+    one bitset-flooding sweep (:meth:`FrozenGraph.all_balls`), which is the
+    fast path the phase-structured drivers use.  On that path, vertices
+    whose balls are equal (e.g. a whole component once the radius reaches
+    its diameter) *share one set object* — treat the returned sets as
+    read-only, or copy before mutating.
+    """
+    if isinstance(graph, FrozenGraph):
+        return graph.all_balls(radius)
     return {v: graph.ball(v, radius) for v in graph}

@@ -1,10 +1,16 @@
 """The network side of the LOCAL-model simulator.
 
-A :class:`Network` wraps a :class:`~repro.graphs.graph.Graph`: it assigns
-identifiers ``1..n`` to the vertices, fixes a port numbering (for every
-vertex, its incident edges are numbered ``0..deg-1``), and records the
-mapping back to the original vertex labels so that simulation outputs can
-be reported in terms of the caller's vertices.
+A :class:`Network` wraps a graph (mutable :class:`~repro.graphs.graph.Graph`
+or frozen :class:`~repro.graphs.frozen.FrozenGraph`): it assigns identifiers
+``1..n`` to the vertices, fixes a port numbering (for every vertex, its
+incident edges are numbered ``0..deg-1``), and records the mapping back to
+the original vertex labels so that simulation outputs can be reported in
+terms of the caller's vertices.
+
+For a frozen graph with the default identifier order, the port tables are
+read straight off the CSR arrays: identifiers follow the vertex indices and
+each CSR neighbour slice is already sorted by index, hence by identifier —
+no per-vertex sort is needed.
 """
 
 from __future__ import annotations
@@ -12,7 +18,8 @@ from __future__ import annotations
 from collections.abc import Mapping
 from typing import Any
 
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.frozen import FrozenGraph, GraphLike
+from repro.graphs.graph import Vertex
 
 __all__ = ["Network"]
 
@@ -20,7 +27,7 @@ __all__ = ["Network"]
 class Network:
     """A port-numbered network over an input graph."""
 
-    def __init__(self, graph: Graph, identifier_order: list[Vertex] | None = None):
+    def __init__(self, graph: GraphLike, identifier_order: list[Vertex] | None = None):
         self.graph = graph
         vertices = identifier_order if identifier_order is not None else graph.vertices()
         if set(vertices) != set(graph.vertices()):
@@ -32,10 +39,17 @@ class Network:
             i: v for v, i in self.identifier_of.items()
         }
         # port numbering: for each vertex, neighbours sorted by identifier
-        self.ports: dict[Vertex, list[Vertex]] = {
-            v: sorted(graph.neighbors(v), key=lambda u: self.identifier_of[u])
-            for v in graph
-        }
+        if identifier_order is None and isinstance(graph, FrozenGraph):
+            # CSR fast path: identifiers follow vertex indices, and each
+            # neighbour slice is sorted by index == sorted by identifier
+            self.ports: dict[Vertex, list[Vertex]] = {
+                v: graph.neighbors(v) for v in graph
+            }
+        else:
+            self.ports = {
+                v: sorted(graph.neighbors(v), key=lambda u: self.identifier_of[u])
+                for v in graph
+            }
         self.port_of: dict[Vertex, dict[Vertex, int]] = {
             v: {u: p for p, u in enumerate(nbrs)} for v, nbrs in self.ports.items()
         }

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SimulationError
-from repro.graphs.graph import Graph, Vertex
+from repro.graphs.frozen import GraphLike
+from repro.graphs.graph import Vertex
 from repro.local.network import Network
 from repro.local.node import NodeAlgorithm, NodeContext
 
@@ -62,8 +63,16 @@ class SynchronousSimulator:
         algorithm_factory: Callable[[], NodeAlgorithm],
         inputs: Mapping[Vertex, Any] | None = None,
         max_rounds: int = 10_000,
+        strict: bool = False,
     ) -> SimulationResult:
-        """Execute the algorithm until all nodes finish or ``max_rounds`` is hit."""
+        """Execute the algorithm until all nodes finish or ``max_rounds`` is hit.
+
+        With ``strict=False`` (the default) hitting the round limit returns a
+        result with ``finished=False``; with ``strict=True`` it raises
+        :class:`~repro.errors.SimulationError` instead, which is what callers
+        that *assume* termination (most tests and drivers) should use so that
+        a diverging algorithm cannot silently masquerade as a slow one.
+        """
         network = self.network
         inputs = network.translate_inputs(inputs)
         nodes: dict[Vertex, NodeAlgorithm] = {}
@@ -84,6 +93,14 @@ class SynchronousSimulator:
         rounds = 0
         while not all(node.is_finished() for node in nodes.values()):
             if rounds >= max_rounds:
+                if strict:
+                    unfinished = sum(
+                        1 for node in nodes.values() if not node.is_finished()
+                    )
+                    raise SimulationError(
+                        f"simulation hit max_rounds={max_rounds} with "
+                        f"{unfinished} unfinished node(s)"
+                    )
                 return SimulationResult(
                     rounds=rounds,
                     outputs={v: node.result() for v, node in nodes.items()},
@@ -123,11 +140,14 @@ class SynchronousSimulator:
 
 
 def run_node_algorithm(
-    graph: Graph,
+    graph: GraphLike,
     algorithm_factory: Callable[[], NodeAlgorithm],
     inputs: Mapping[Vertex, Any] | None = None,
     max_rounds: int = 10_000,
+    strict: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build the network and run the algorithm."""
     simulator = SynchronousSimulator(Network(graph))
-    return simulator.run(algorithm_factory, inputs=inputs, max_rounds=max_rounds)
+    return simulator.run(
+        algorithm_factory, inputs=inputs, max_rounds=max_rounds, strict=strict
+    )

@@ -68,7 +68,7 @@ class EchoDegree(NodeAlgorithm):
 
 def test_one_round_neighbor_exchange():
     g = classic.cycle(6)
-    result = run_node_algorithm(g, EchoDegree)
+    result = run_node_algorithm(g, EchoDegree, strict=True)
     assert result.rounds == 1
     assert result.finished
     net = Network(g)
@@ -107,6 +107,58 @@ def test_round_limit_reported_as_unfinished():
     result = run_node_algorithm(classic.path(3), NeverFinishes, max_rounds=5)
     assert not result.finished
     assert result.rounds == 5
+    # partial outputs are still reported when not strict
+    assert set(result.outputs) == set(classic.path(3).vertices())
+
+
+def test_round_limit_raises_in_strict_mode():
+    with pytest.raises(SimulationError, match="max_rounds=5"):
+        run_node_algorithm(classic.path(3), NeverFinishes, max_rounds=5, strict=True)
+
+
+def test_strict_mode_passes_through_on_termination():
+    result = run_node_algorithm(classic.cycle(6), EchoDegree, strict=True)
+    assert result.finished
+    assert result.rounds == 1
+
+
+class ChattyCountdown(NodeAlgorithm):
+    """Sends on all ports for ``input`` rounds, then stops."""
+
+    def initialize(self, context):
+        super().initialize(context)
+        self.remaining = int(context.input)
+
+    def send(self, round_number):
+        if self.remaining <= 0:
+            return {}
+        return {p: "tick" for p in range(self.context.degree)}
+
+    def receive(self, round_number, messages):
+        if self.remaining > 0:
+            self.remaining -= 1
+
+    def is_finished(self):
+        return self.remaining <= 0
+
+
+def test_per_round_messages_accounting():
+    g = classic.cycle(5)
+    rounds_wanted = 3
+    result = run_node_algorithm(
+        g, ChattyCountdown, inputs={v: rounds_wanted for v in g}, strict=True
+    )
+    assert result.rounds == rounds_wanted
+    assert len(result.per_round_messages) == result.rounds
+    assert sum(result.per_round_messages) == result.messages_sent
+    # every node sends on both ports every active round
+    assert result.per_round_messages == [2 * len(g)] * rounds_wanted
+
+
+def test_per_round_messages_accounting_when_unfinished():
+    result = run_node_algorithm(classic.path(4), NeverFinishes, max_rounds=7)
+    assert len(result.per_round_messages) == result.rounds == 7
+    assert sum(result.per_round_messages) == result.messages_sent
 
 
 # -- ball collection ---------------------------------------------------------------
@@ -114,7 +166,7 @@ def test_round_limit_reported_as_unfinished():
 @pytest.mark.parametrize("radius", [0, 1, 2, 3])
 def test_ball_collection_matches_centralized(radius):
     g = classic.grid_2d(4, 4)
-    distributed = collect_balls_distributed(g, radius)
+    distributed = collect_balls_distributed(g, radius, strict=True)
     assert distributed.finished
     assert distributed.rounds == radius
     centralized = collect_balls(g, radius)
@@ -127,7 +179,7 @@ def test_ball_collection_matches_centralized(radius):
 
 def test_ball_collection_edges_are_within_ball():
     g = classic.cycle(8)
-    result = collect_balls_distributed(g, 2)
+    result = collect_balls_distributed(g, 2, strict=True)
     for v in g:
         vertices, edges = result.outputs[v]
         for edge in edges:
@@ -173,7 +225,7 @@ def test_simulator_reuse():
 def test_ball_collection_locality_equivalence():
     """r rounds of communication give exactly the radius-r ball, no more."""
     g = classic.path(9)
-    result = collect_balls_distributed(g, 2)
+    result = collect_balls_distributed(g, 2, strict=True)
     net = Network(g)
     vertices, _ = result.outputs[0]
     assert vertices == {net.identifier_of[0], net.identifier_of[1], net.identifier_of[2]}
