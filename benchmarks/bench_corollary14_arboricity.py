@@ -1,58 +1,23 @@
-"""E5 — Corollary 1.4 vs Barenboim–Elkin: 2a colors vs (2+eps)a + 1.
+"""E5 — Corollary 1.4 vs Barenboim–Elkin: now the `corollary14-arboricity` scenario.
 
-Paper claim: graphs of arboricity ``a >= 2`` are 2a-list-colorable in
-``O(a^4 log^3 n)`` rounds, one color better than the
-``floor((2+eps)a) + 1`` colors of Barenboim–Elkin (which runs in
-``O(a log n)`` rounds).  The benchmark reports colors and charged rounds of
-both algorithms on unions of ``a`` random spanning forests.
+All generation, measurement and export live in :mod:`repro.scenarios`.
+Run it with::
+
+    PYTHONPATH=src python -m repro run corollary14-arboricity
 """
 
-from repro.analysis import ExperimentRunner
-from repro.coloring import verify_coloring
-from repro.core import color_bounded_arboricity_graph
-from repro.distributed import barenboim_elkin_coloring
-from repro.graphs.generators import sparse
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "corollary14-arboricity"
 
 
-def build_table(ns=(120,), arboricities=(2, 3)) -> ExperimentRunner:
-    runner = ExperimentRunner("E5: Corollary 1.4 vs Barenboim–Elkin")
-    for a in arboricities:
-        for n in ns:
-            g = sparse.union_of_random_forests(n, a, seed=n + a)
-            instance = f"n={n} a={a}"
-
-            def run_ours(g=g, a=a):
-                result = color_bounded_arboricity_graph(g, arboricity=a)
-                verify_coloring(g, result.coloring)
-                return {"colors": result.colors_used(), "palette": 2 * a,
-                        "rounds": result.rounds}
-
-            def run_baseline(g=g, a=a):
-                result = barenboim_elkin_coloring(g, arboricity=a, epsilon=1.0)
-                verify_coloring(g, result.coloring)
-                return {"colors": result.colors_used, "palette": result.palette_size,
-                        "rounds": result.rounds}
-
-            runner.run(instance, "Cor 1.4 (2a colors)", run_ours)
-            runner.run(instance, "Barenboim-Elkin", run_baseline)
-    return runner
-
-
-def test_corollary14(benchmark):
-    g = sparse.union_of_random_forests(100, 2, seed=5)
-    result = benchmark(lambda: color_bounded_arboricity_graph(g, arboricity=2))
-    assert result.succeeded and result.colors_used() <= 4
-
-
-def test_corollary14_table(capsys):
-    runner = build_table()
-    ours = runner.metric_series("Cor 1.4 (2a colors)", "palette")
-    baseline = runner.metric_series("Barenboim-Elkin", "palette")
-    # the paper's headline: our palette is strictly smaller
-    assert all(o < b for o, b in zip(ours, baseline))
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

@@ -1,51 +1,23 @@
-"""E8 — Corollary 2.11: coloring graphs embedded on a fixed surface.
+"""E8 — Corollary 2.11 on fixed surfaces: now the `corollary211-genus` scenario.
 
-Paper claim: graphs of Euler genus g are H(g)-list-colorable in
-``O(log^3 n)`` rounds, and ``H(g) - 1`` colors suffice when the Heawood mad
-bound is an integer and the graph is not K_{H(g)}.  The benchmark colors
-6-regular toroidal triangulations (Euler genus 2, Heawood number 7) with
-both budgets and reports the colors actually used.
+All generation, measurement and export live in :mod:`repro.scenarios`.
+Run it with::
+
+    PYTHONPATH=src python -m repro run corollary211-genus
 """
 
-from repro.analysis import ExperimentRunner
-from repro.coloring import verify_coloring
-from repro.core import color_embedded_graph, genus_color_budget
-from repro.graphs.generators import surfaces
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "corollary211-genus"
 
 
-def build_table(sizes=((6, 8), (8, 10))) -> ExperimentRunner:
-    runner = ExperimentRunner("E8: Corollary 2.11 on toroidal triangulations (Euler genus 2)")
-    for k, l in sizes:
-        g = surfaces.toroidal_triangular_grid(k, l)
-        instance = f"torus triangulation {k}x{l} (n={len(g)})"
-
-        def run(improved, g=g):
-            result = color_embedded_graph(g, euler_genus=2, improved=improved)
-            verify_coloring(g, result.coloring)
-            return {
-                "colors": result.colors_used(),
-                "budget": genus_color_budget(2, improved=improved),
-                "rounds": result.rounds,
-            }
-
-        runner.run(instance, "H(g)=7 budget", lambda g=g: run(False, g))
-        runner.run(instance, "H(g)-1=6 budget", lambda g=g: run(True, g))
-    return runner
-
-
-def test_corollary211_genus(benchmark):
-    g = surfaces.toroidal_triangular_grid(6, 6)
-    result = benchmark(lambda: color_embedded_graph(g, euler_genus=2, improved=True))
-    assert result.succeeded and result.colors_used() <= 6
-
-
-def test_corollary211_table(capsys):
-    runner = build_table(sizes=((6, 8),))
-    for row in runner.rows:
-        assert row.metrics["colors"] <= row.metrics["budget"]
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

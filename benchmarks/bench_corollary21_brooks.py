@@ -1,74 +1,23 @@
-"""E7 — Corollary 2.1 / Theorem 6.1: Brooks-type Δ-list-coloring.
+"""E7 — Corollary 2.1 / Theorem 6.1 (Brooks): now the `corollary21-brooks` scenario.
 
-Paper claim: graphs of maximum degree Δ >= 3 without a K_{Δ+1} are
-Δ-list-colorable in ``O(Δ^2 log^3 n)`` rounds (one color better than the
-greedy Δ+1), and the same machinery handles "nice" list-assignments where
-list sizes vary per vertex (Theorem 6.1).
+All generation, measurement and export live in :mod:`repro.scenarios`.
+Run it with::
+
+    PYTHONPATH=src python -m repro run corollary21-brooks
 """
 
-from repro.analysis import ExperimentRunner
-from repro.coloring import uniform_lists, verify_list_coloring
-from repro.coloring.assignment import ListAssignment
-from repro.core import brooks_list_coloring, nice_list_coloring
-from repro.distributed import greedy_distributed_coloring
-from repro.graphs.generators import classic
-from repro.graphs.properties.cliques import is_clique
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "corollary21-brooks"
 
 
-def nice_lists_for(graph):
-    lists = {}
-    for v in graph:
-        degree = graph.degree(v)
-        size = degree + 1 if degree <= 2 or is_clique(graph, graph.neighbors(v)) else degree
-        lists[v] = frozenset(range(1, size + 1))
-    return ListAssignment(lists)
-
-
-def build_table(ns=(60, 120), degrees=(4, 5)) -> ExperimentRunner:
-    runner = ExperimentRunner("E7: Corollary 2.1 (Brooks) and Theorem 6.1 (nice lists)")
-    for d in degrees:
-        for n in ns:
-            if n * d % 2:
-                n += 1
-            g = classic.random_regular_graph(n, d, seed=n + d)
-            instance = f"{d}-regular n={n}"
-
-            def run_brooks(g=g, d=d):
-                result = brooks_list_coloring(g)
-                verify_list_coloring(g, result.coloring, uniform_lists(g, d))
-                return {"colors": result.colors_used(), "budget": d, "rounds": result.rounds}
-
-            def run_greedy(g=g, d=d):
-                result = greedy_distributed_coloring(g)
-                return {"colors": len(set(result.coloring.values())), "budget": d + 1,
-                        "rounds": result.rounds}
-
-            def run_nice(g=g, d=d):
-                lists = nice_lists_for(g)
-                result = nice_list_coloring(g, lists)
-                verify_list_coloring(g, result.coloring, lists)
-                return {"colors": len(set(result.coloring.values())), "budget": d,
-                        "rounds": result.rounds}
-
-            runner.run(instance, "Cor 2.1 (Delta colors)", run_brooks)
-            runner.run(instance, "greedy (Delta+1)", run_greedy)
-            runner.run(instance, "Thm 6.1 (nice lists)", run_nice)
-    return runner
-
-
-def test_corollary21_brooks(benchmark):
-    g = classic.random_regular_graph(60, 4, seed=1)
-    result = benchmark(lambda: brooks_list_coloring(g))
-    assert result.succeeded and result.colors_used() <= 4
-
-
-def test_corollary21_table(capsys):
-    runner = build_table(ns=(60,), degrees=(4,))
-    for row in runner.rows:
-        assert row.metrics["colors"] <= row.metrics["budget"]
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

@@ -1,70 +1,23 @@
-"""E6 — Corollary 2.3 vs Goldberg–Plotkin–Shannon on planar graphs.
+"""E6 — Corollary 2.3 vs GPS on planar graphs: now the `corollary23-planar` scenario.
 
-Paper claim: planar graphs are 6-list-colorable, triangle-free planar
-graphs 4-list-colorable and girth->=6 planar graphs 3-list-colorable, all
-in ``O(log^3 n)`` rounds; GPS achieves 7 colors (general planar) in
-``O(log n)`` rounds.  The benchmark reports colors and charged rounds for
-both algorithms on the three planar families.
+All generation, measurement and export live in :mod:`repro.scenarios`.
+Run it with::
+
+    PYTHONPATH=src python -m repro run corollary23-planar
 """
 
-from repro.analysis import ExperimentRunner
-from repro.coloring import verify_coloring
-from repro.core import (
-    color_high_girth_planar_graph,
-    color_planar_graph,
-    color_triangle_free_planar_graph,
-)
-from repro.distributed import gps_coloring
-from repro.graphs.generators import planar
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "corollary23-planar"
 
 
-def build_table(n=150) -> ExperimentRunner:
-    runner = ExperimentRunner("E6: Corollary 2.3 on planar graphs vs GPS")
-
-    triangulation = planar.stacked_triangulation(n, seed=1)
-    triangle_free = planar.triangle_free_planar(n, seed=2)
-    high_girth = planar.high_girth_planar(n, seed=3)
-
-    def ours_general():
-        result = color_planar_graph(triangulation)
-        verify_coloring(triangulation, result.coloring)
-        return {"colors": result.colors_used(), "budget": 6, "rounds": result.rounds}
-
-    def gps_general():
-        result = gps_coloring(triangulation, degree_threshold=6)
-        verify_coloring(triangulation, result.coloring)
-        return {"colors": result.colors_used, "budget": 7, "rounds": result.rounds}
-
-    def ours_triangle_free():
-        result = color_triangle_free_planar_graph(triangle_free)
-        verify_coloring(triangle_free, result.coloring)
-        return {"colors": result.colors_used(), "budget": 4, "rounds": result.rounds}
-
-    def ours_high_girth():
-        result = color_high_girth_planar_graph(high_girth)
-        verify_coloring(high_girth, result.coloring)
-        return {"colors": result.colors_used(), "budget": 3, "rounds": result.rounds}
-
-    runner.run(f"planar triangulation n={len(triangulation)}", "Cor 2.3 (6 colors)", ours_general)
-    runner.run(f"planar triangulation n={len(triangulation)}", "GPS (7 colors)", gps_general)
-    runner.run(f"triangle-free planar n={len(triangle_free)}", "Cor 2.3 (4 colors)", ours_triangle_free)
-    runner.run(f"girth>=6 planar n={len(high_girth)}", "Cor 2.3 (3 colors)", ours_high_girth)
-    return runner
-
-
-def test_corollary23_planar(benchmark):
-    g = planar.stacked_triangulation(100, seed=4)
-    result = benchmark(lambda: color_planar_graph(g))
-    assert result.succeeded and result.colors_used() <= 6
-
-
-def test_corollary23_table(capsys):
-    runner = build_table()
-    for row in runner.rows:
-        assert row.metrics["colors"] <= row.metrics["budget"]
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

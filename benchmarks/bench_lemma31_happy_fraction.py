@@ -1,59 +1,23 @@
-"""E3 — Lemma 3.1: the happy set is a constant fraction of the graph.
+"""E3 — Lemma 3.1 (happy fraction): now the `lemma31-happy-fraction` scenario.
 
-Paper claim: ``|A| >= n / (3d)^3`` in general and ``|A| >= n / (12d + 1)``
-when there are no poor vertices; consequently the peeling needs
-``O(d^3 log n)`` (resp. ``O(d log n)``) layers.  The benchmark measures the
-actual happy fraction of the first layer and the total number of peeling
-layers on three input families, including the adversarial d-regular case
-where no vertex has small degree.
+All generation, measurement and export live in :mod:`repro.scenarios`.
+Run it with::
+
+    PYTHONPATH=src python -m repro run lemma31-happy-fraction
 """
 
-from repro.analysis import ExperimentRunner
-from repro.core import classify_vertices, peel_happy_layers
-from repro.graphs.generators import classic, planar, sparse
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "lemma31-happy-fraction"
 
 
-def build_table() -> ExperimentRunner:
-    runner = ExperimentRunner("E3: Lemma 3.1 — happy fraction and peeling layers")
-    cases = [
-        ("forest-union a=2, n=200", sparse.union_of_random_forests(200, 2, seed=1), 4),
-        ("planar triangulation, n=200", planar.stacked_triangulation(200, seed=2), 6),
-        ("4-regular, n=120", classic.random_regular_graph(120, 4, seed=3), 4),
-    ]
-    for name, g, d in cases:
-
-        def run(g=g, d=d):
-            cls = classify_vertices(g, d=d)
-            peeling = peel_happy_layers(g, d=d)
-            n = g.number_of_vertices()
-            fraction = len(cls.happy) / n
-            bound = 1 / (3 * d) ** 3
-            no_poor_bound = 1 / (12 * d + 1) if not cls.poor else None
-            return {
-                "happy_fraction": round(fraction, 3),
-                "paper_bound": round(bound, 5),
-                "no_poor_bound": round(no_poor_bound, 4) if no_poor_bound else "-",
-                "layers": peeling.number_of_layers,
-                "poor": len(cls.poor),
-            }
-
-        runner.run(name, f"classification d={d}", run)
-    return runner
-
-
-def test_lemma31_happy_fraction(benchmark):
-    g = sparse.union_of_random_forests(150, 2, seed=4)
-    cls = benchmark(lambda: classify_vertices(g, d=4))
-    assert len(cls.happy) >= g.number_of_vertices() / (3 * 4) ** 3
-
-
-def test_lemma31_table(capsys):
-    runner = build_table()
-    for row in runner.rows:
-        assert row.metrics["happy_fraction"] >= row.metrics["paper_bound"]
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

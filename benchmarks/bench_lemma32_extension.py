@@ -1,74 +1,23 @@
-"""E4 — Lemma 3.2: extending a coloring of G - A to G.
+"""E4 — Lemma 3.2 (extension step): now the `lemma32-extension` scenario.
 
-Paper claim: any list-coloring of ``G - A`` extends to ``G`` in
-``O(d log^2 n)`` rounds, using a ruling forest, a (d+1) stable partition,
-layered tree coloring and Theorem 1.1 on the root balls.  The benchmark
-isolates one extension step (the happy set of the first peeling layer) and
-reports the charged rounds, the number of ruling-forest roots, and the
-number of sad vertices that had to be recolored — all quantities appearing
-in the proof.
+All generation, measurement and export live in :mod:`repro.scenarios`.
+Run it with::
+
+    PYTHONPATH=src python -m repro run lemma32-extension
 """
 
-from repro.analysis import ExperimentRunner
-from repro.coloring import uniform_lists, verify_list_coloring
-from repro.coloring.greedy import greedy_list_coloring
-from repro.core import classify_vertices
-from repro.core.extension import extend_coloring_to_happy_set
-from repro.graphs.generators import planar, sparse
-from repro.graphs.properties.degeneracy import degeneracy_ordering
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "lemma32-extension"
 
 
-def one_extension(g, d, radius):
-    lists = uniform_lists(g, d)
-    cls = classify_vertices(g, d=d, radius=radius)
-    rest = [v for v in g if v not in cls.happy]
-    sub = g.subgraph(rest)
-    _, order = degeneracy_ordering(sub)
-    base = greedy_list_coloring(sub, lists.restrict(rest), list(reversed(order)))
-    coloring, report = extend_coloring_to_happy_set(
-        g, lists, happy=cls.happy, rich=cls.rich, coloring=base,
-        radius=radius, d=d,
-    )
-    verify_list_coloring(g, coloring, lists)
-    return cls, report
-
-
-def build_table() -> ExperimentRunner:
-    runner = ExperimentRunner("E4: Lemma 3.2 — one extension step")
-    cases = [
-        ("planar n=120", planar.stacked_triangulation(120, seed=1), 6, 3),
-        ("planar n=240", planar.stacked_triangulation(240, seed=2), 6, 4),
-        ("forest-union n=200", sparse.union_of_random_forests(200, 2, seed=3), 4, 4),
-    ]
-    for name, g, d, radius in cases:
-
-        def run(g=g, d=d, radius=radius):
-            cls, report = one_extension(g, d, radius)
-            return {
-                "happy": len(cls.happy),
-                "roots": report.roots,
-                "tree_vertices": report.tree_vertices,
-                "recolored_sad": report.recolored_sad_vertices,
-                "rounds": report.rounds,
-            }
-
-        runner.run(name, f"extension d={d} r={radius}", run)
-    return runner
-
-
-def test_lemma32_extension(benchmark):
-    g = planar.stacked_triangulation(100, seed=4)
-    cls, report = benchmark(lambda: one_extension(g, 6, 3))
-    assert report.roots >= 1
-
-
-def test_lemma32_table(capsys):
-    runner = build_table()
-    for row in runner.rows:
-        assert row.metrics["rounds"] > 0
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

@@ -1,55 +1,23 @@
-"""E9 — Theorem 1.5: no o(n)-round algorithm 4-colors planar graphs.
+"""E9 — Theorem 1.5 (planar 4-coloring lower bound): now the `lowerbound-fisk` scenario.
 
-Paper claim (via Fisk triangulations; we substitute the locally planar,
-non-4-colorable toroidal triangulation C_n(1,2,3), see DESIGN.md): for
-every n there is a graph whose balls of radius ~n/6 are planar yet whose
-chromatic number is 5, so by Observation 2.4 any algorithm 4-coloring all
-planar graphs needs Omega(n) rounds.  The benchmark certifies the
-obstruction at growing sizes and reports the certified round lower bound,
-which grows linearly in n.
+All construction, certification and export live in :mod:`repro.scenarios`.
+Run it with::
+
+    PYTHONPATH=src python -m repro run lowerbound-fisk
 """
 
-from repro.analysis import ExperimentRunner
-from repro.lowerbounds import planar_four_coloring_lower_bound
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "lowerbound-fisk"
 
 
-CASES = [(29, 3), (49, 6), (97, 14)]
-
-
-def build_table() -> ExperimentRunner:
-    runner = ExperimentRunner("E9: Theorem 1.5 — 4-coloring planar graphs needs Omega(n) rounds")
-    for n, rounds in CASES:
-
-        def run(n=n, rounds=rounds):
-            result = planar_four_coloring_lower_bound(n, rounds=rounds)
-            cert = result.certificate
-            return {
-                "obstruction_n": cert.obstruction_vertices,
-                "certified_rounds": cert.rounds,
-                "colors_ruled_out": cert.colors,
-                "chi_obstruction": cert.obstruction_chromatic_lower_bound,
-                "rounds/n": round(cert.rounds / n, 3),
-            }
-
-        runner.run(f"n={n}", "Observation 2.4 certificate", run)
-    return runner
-
-
-def test_lowerbound_fisk(benchmark):
-    result = benchmark(lambda: planar_four_coloring_lower_bound(29, rounds=3))
-    assert result.certificate.colors == 4
-
-
-def test_lowerbound_fisk_table(capsys):
-    runner = build_table()
-    rounds = runner.metric_series("Observation 2.4 certificate", "certified_rounds")
-    ns = runner.metric_series("Observation 2.4 certificate", "obstruction_n")
-    # the certified bound grows linearly with n (constant rounds/n ratio)
-    assert rounds == sorted(rounds)
-    assert rounds[-1] / ns[-1] >= 0.5 * rounds[0] / ns[0]
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

@@ -1,68 +1,23 @@
-"""E10 — Theorems 2.5 and 2.6: 3-coloring lower bounds from Klein-bottle grids.
+"""E10 — Theorems 2.5/2.6 (Klein-bottle grid lower bounds): now the `lowerbound-grids` scenario.
 
-Paper claims:
+All construction, certification and export live in :mod:`repro.scenarios`.
+Run it with::
 
-* (2.5) no o(n)-round algorithm 3-colors every triangle-free planar graph —
-  witnessed by G_{5, 2l+1} (4-chromatic) whose balls look like balls of the
-  planar pentagonal tube;
-* (2.6) no o(sqrt(n))-round algorithm 3-colors every planar bipartite graph
-  — witnessed by G_{2k+1, 2k+1} whose balls look like planar-grid balls
-  (the grid itself is 2-colorable!).
-
-The benchmark certifies both families at growing sizes; the certified round
-bound grows linearly in l (i.e. ~n) for the first family and linearly in k
-(i.e. ~sqrt(n)) for the second.
+    PYTHONPATH=src python -m repro run lowerbound-grids
 """
 
-from repro.analysis import ExperimentRunner
-from repro.lowerbounds import bipartite_grid_lower_bound, triangle_free_lower_bound
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "lowerbound-grids"
 
 
-def build_table() -> ExperimentRunner:
-    runner = ExperimentRunner("E10: Theorems 2.5/2.6 — 3-coloring lower bounds")
-    for l, rounds in [(4, 2), (8, 6), (12, 10)]:
-
-        def run(l=l, rounds=rounds):
-            result = triangle_free_lower_bound(l, rounds=rounds)
-            cert = result.certificate
-            return {
-                "obstruction_n": cert.obstruction_vertices,
-                "certified_rounds": cert.rounds,
-                "colors_ruled_out": cert.colors,
-                "target": "triangle-free planar",
-            }
-
-        runner.run(f"G_5x{2 * l + 1}", "Thm 2.5 certificate", run)
-
-    for k, rounds in [(4, 2), (6, 4), (8, 6)]:
-
-        def run(k=k, rounds=rounds):
-            result = bipartite_grid_lower_bound(k, rounds=rounds)
-            cert = result.certificate
-            return {
-                "obstruction_n": cert.obstruction_vertices,
-                "certified_rounds": cert.rounds,
-                "colors_ruled_out": cert.colors,
-                "target": "planar bipartite (grid)",
-            }
-
-        runner.run(f"G_{2 * k + 1}x{2 * k + 1}", "Thm 2.6 certificate", run)
-    return runner
-
-
-def test_lowerbound_triangle_free(benchmark):
-    result = benchmark(lambda: triangle_free_lower_bound(4, rounds=2))
-    assert result.certificate.colors == 3
-
-
-def test_lowerbound_grids_table(capsys):
-    runner = build_table()
-    r25 = runner.metric_series("Thm 2.5 certificate", "certified_rounds")
-    r26 = runner.metric_series("Thm 2.6 certificate", "certified_rounds")
-    assert r25 == sorted(r25) and r26 == sorted(r26)
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

@@ -1,212 +1,38 @@
-"""E11/E12 — round complexity of the distributed building blocks, plus E13,
-the CSR-core speedup tracker.
+"""E11/E12/E13 — distributed primitives + CSR speedup: now the `primitives` scenario.
 
-* Cole–Vishkin 3-colors rooted forests in O(log* n) rounds — the measured
-  round counts barely move while n grows by two orders of magnitude, and
-  Linial's lower bound says Omega(log* n) is necessary (so every algorithm
-  in this repository, including Theorem 1.3, inherits that floor).
-* Linial + color reduction produce a (Δ+1)-coloring in O(log* n + Δ²)
-  rounds.
-* The (k, k log n)-ruling forest of Awerbuch et al. (the engine of
-  Lemma 3.2) satisfies its separation/depth guarantees with O(k log n)
-  charged rounds.
-* 2-coloring a path, by contrast, needs Omega(n) rounds (Observation 2.4
-  certificate) — the reason Theorem 1.3 requires d >= 3.
-* E13 (:func:`build_csr_speedup`) times the two hottest sequential
-  primitives — degeneracy peeling and ball collection — on the seed
-  dict-of-sets path versus the :class:`FrozenGraph` CSR path, at n = 10,000.
-  Ball collection is measured at the paper-realistic rich-ball radius
-  (``c log2 n`` always exceeds the diameter at simulable sizes, so every
-  ball is a whole component — the regime Lemma 3.1 classification runs in).
-  Running this file as a script exports the machine-readable
-  ``BENCH_primitives.json`` artifact at the repository root so the perf
-  trajectory is diffable across PRs.
+All generation, timing and export live in :mod:`repro.scenarios` (the E13
+dict-of-sets vs CSR A/B shares one fixed instance seed and always runs
+serially so concurrent workers cannot skew the timings).  Run it with::
+
+    PYTHONPATH=src python -m repro run primitives
+
+Executing this file exports the repository-root ``BENCH_primitives.json``
+perf-trajectory artifact, exactly like the CLI invocation above.
 """
 
-import time
-from collections import deque
 from pathlib import Path
 
-from repro.analysis import BatchTask, ExperimentRunner
-from repro.graphs.generators import classic
-from repro.graphs.generators.sparse import union_of_random_forests
-from repro.graphs.properties.degeneracy import _degeneracy_ordering_sets
-from repro.local.ball_collection import collect_balls
-from repro.lowerbounds import log_star_floor, path_two_coloring_lower_bound
-from repro.distributed import (
-    color_rooted_forest,
-    delta_plus_one_coloring,
-    ruling_forest,
-)
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "primitives"
 
 
-def bfs_parents(graph, root):
-    parents = {root: None}
-    queue = deque([root])
-    while queue:
-        u = queue.popleft()
-        for w in graph.neighbors(u):
-            if w not in parents:
-                parents[w] = u
-                queue.append(w)
-    return parents
-
-
-def build_table() -> ExperimentRunner:
-    runner = ExperimentRunner("E11/E12: primitives — measured rounds")
-    for n in (50, 500, 5000):
-        g = classic.path(n)
-
-        def run_cv(g=g, n=n):
-            result = color_rooted_forest(g, bfs_parents(g, 0))
-            colors = set(result.outputs.values())
-            return {"rounds": result.rounds, "colors": len(colors),
-                    "log_star_n": log_star_floor(n)}
-
-        runner.run(f"path n={n}", "Cole-Vishkin (3 colors)", run_cv)
-
-    for n in (60, 240):
-        g = classic.random_regular_graph(n, 4, seed=n)
-
-        def run_dp1(g=g):
-            result = delta_plus_one_coloring(g)
-            return {"rounds": result.rounds,
-                    "colors": len(set(result.coloring.values())),
-                    "log_star_n": log_star_floor(len(g))}
-
-        runner.run(f"4-regular n={n}", "Linial + reduction (Delta+1)", run_dp1)
-
-    for n in (100, 400):
-        g = classic.grid_2d(n // 10, 10)
-
-        def run_ruling(g=g):
-            forest = ruling_forest(g, set(g.vertices()), alpha=4)
-            return {"rounds": forest.rounds, "colors": len(forest.roots),
-                    "log_star_n": forest.beta}
-
-        runner.run(f"grid n={n}", "ruling forest (alpha=4)", run_ruling)
-
-    def run_path_lb():
-        result = path_two_coloring_lower_bound(200, rounds=20)
-        return {"rounds": result.certificate.rounds, "colors": 2, "log_star_n": 0}
-
-    runner.run("path n=200", "2-coloring lower bound (Omega(n))", run_path_lb)
-    return runner
-
-
-# -- E13: CSR core speedup --------------------------------------------------
-
-def _measure_degeneracy(n, arboricity, backend, seed=None):
-    """Time one degeneracy-ordering computation (module-level: picklable).
-
-    The CSR timing is taken on a pre-frozen graph; the one-time freeze cost
-    is reported separately (``freeze_seconds``) because it is paid once per
-    graph and amortized over every primitive that runs on the frozen view.
-    """
-    graph = union_of_random_forests(n, arboricity, seed=seed)
-    metrics = {"n": n, "m": graph.number_of_edges()}
-    if backend == "dict":
-        start = time.perf_counter()
-        value = _degeneracy_ordering_sets(graph)[0]
-        metrics["compute_seconds"] = time.perf_counter() - start
-    else:
-        start = time.perf_counter()
-        frozen = graph.freeze()
-        metrics["freeze_seconds"] = time.perf_counter() - start
-        start = time.perf_counter()
-        value = frozen.degeneracy_ordering()[0]
-        metrics["compute_seconds"] = time.perf_counter() - start
-    metrics["degeneracy"] = value
-    return metrics
-
-
-def _measure_balls(n, arboricity, radius, backend, seed=None):
-    """Time one all-vertices ball collection (module-level: picklable)."""
-    graph = union_of_random_forests(n, arboricity, seed=seed)
-    if backend != "dict":
-        graph = graph.freeze()
-    start = time.perf_counter()
-    balls = collect_balls(graph, radius)
-    elapsed = time.perf_counter() - start
-    return {
-        "n": n,
-        "radius": radius,
-        "total_ball_members": sum(len(b) for b in balls.values()),
-        "compute_seconds": elapsed,
-    }
-
-
-def build_csr_speedup(
-    n: int = 10_000, arboricity: int = 3, radius: int = 8, seed: int = 42
-) -> ExperimentRunner:
-    """E13: dict-of-sets vs CSR on the two hottest primitives.
-
-    ``radius`` defaults to a value exceeding the diameter of the instance —
-    the rich-ball regime of Lemma 3.1 (the paper's ``c log2 n`` radius is
-    ~600 at this n).  All four measurements share one deterministic
-    instance, so the comparison is exact; timings are taken inside the
-    tasks around the computation only, and the batch runs serially
-    (``parallel=False``) so concurrent workers cannot skew the timings.
-    """
-    runner = ExperimentRunner(
-        "E13: CSR core — dict-of-sets vs FrozenGraph",
-        metadata={"n": n, "arboricity": arboricity, "radius": radius, "seed": seed},
-    )
-    instance = f"forest_union n={n} a={arboricity}"
-    tasks = [
-        BatchTask(instance, "degeneracy ordering (dict-of-sets)",
-                  _measure_degeneracy, args=(n, arboricity, "dict"),
-                  kwargs={"seed": seed}, seed_arg=None),
-        BatchTask(instance, "degeneracy ordering (CSR)",
-                  _measure_degeneracy, args=(n, arboricity, "csr"),
-                  kwargs={"seed": seed}, seed_arg=None),
-        BatchTask(instance, f"ball collection r={radius} (dict-of-sets)",
-                  _measure_balls, args=(n, arboricity, radius, "dict"),
-                  kwargs={"seed": seed}, seed_arg=None),
-        BatchTask(instance, f"ball collection r={radius} (CSR)",
-                  _measure_balls, args=(n, arboricity, radius, "csr"),
-                  kwargs={"seed": seed}, seed_arg=None),
-    ]
-    runner.run_batch(tasks, parallel=False)
-    for primitive in ("degeneracy ordering", f"ball collection r={radius}"):
-        baseline = runner.metric_series(f"{primitive} (dict-of-sets)", "compute_seconds")
-        csr = runner.metric_series(f"{primitive} (CSR)", "compute_seconds")
-        if baseline and csr and csr[0] > 0:
-            speedup = baseline[0] / csr[0]
-            runner.metadata[f"speedup[{primitive}]"] = round(speedup, 2)
-            runner.add(instance, f"{primitive} speedup", speedup_x=round(speedup, 2))
-    return runner
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 def export_artifact(path: str | None = None) -> Path:
-    """Run both tables and write the ``BENCH_primitives.json`` artifact."""
-    table = build_table()
-    csr = build_csr_speedup()
-    combined = ExperimentRunner("primitives", metadata=dict(csr.metadata))
-    combined.rows = table.rows + csr.rows
+    """Run the scenario and write ``BENCH_primitives.json`` (repo root by default)."""
     if path is None:
         path = Path(__file__).resolve().parent.parent / "BENCH_primitives.json"
-    table.print_table()
-    csr.print_table()
-    return combined.export_json(path)
-
-
-def test_cole_vishkin_rounds(benchmark):
-    g = classic.path(500)
-    parents = bfs_parents(g, 0)
-    result = benchmark(lambda: color_rooted_forest(g, parents))
-    assert result.finished
-
-
-def test_primitives_table(capsys):
-    runner = build_table()
-    cv_rounds = runner.metric_series("Cole-Vishkin (3 colors)", "rounds")
-    # log*-like growth: 100x more vertices costs at most a few extra rounds
-    assert cv_rounds[-1] <= cv_rounds[0] + 6
-    with capsys.disabled():
-        runner.print_table()
+    run = run_scenario(SCENARIO, workers=1, out=path)
+    run.runner.print_table()
+    return run.path
 
 
 if __name__ == "__main__":
-    artifact = export_artifact()
-    print(f"\nwrote {artifact}")
+    raise SystemExit(main(["run", SCENARIO]))

@@ -1,76 +1,27 @@
-"""E1 — Theorem 1.3 (colors): d-list-coloring of graphs with mad <= d.
+"""E1 — Theorem 1.3 (colors): now the `theorem13-colors` registry scenario.
 
-Paper claim: for every graph with ``mad(G) <= d`` (``d >= 3``) and no
-``(d+1)``-clique, the algorithm finds a proper coloring where every vertex
-uses a color from its own list of size ``d``.  The greedy/degeneracy
-baseline needs ``floor(mad)+1`` colors in general, i.e. one more.
+All generation, measurement and export live in :mod:`repro.scenarios`
+(tasks in ``tasks.py``, grid and checks in ``catalog.py``).  Run it with::
 
-This benchmark sweeps ``d`` over bounded-mad random graphs (uniform and
-random lists) and reports the number of colors used by Theorem 1.3 and by
-the degeneracy-greedy baseline.
+    PYTHONPATH=src python -m repro run theorem13-colors
+
+This shim keeps the old ``build_table()`` entry point for callers of the
+script-era API and makes ``python benchmarks/bench_theorem13_colors.py``
+equivalent to the CLI invocation above.
 """
 
-from repro.analysis import ExperimentRunner
-from repro.coloring import (
-    degeneracy_greedy_coloring,
-    random_lists,
-    uniform_lists,
-    verify_list_coloring,
-)
-from repro.core import color_sparse_graph
-from repro.graphs.generators import sparse
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "theorem13-colors"
 
 
-def build_table(sizes=(80, 160), ds=(4, 6)) -> ExperimentRunner:
-    runner = ExperimentRunner("E1: Theorem 1.3 — colors used vs. the budget d")
-    for d in ds:
-        for n in sizes:
-            g = sparse.random_degenerate_graph(n, d // 2, seed=n + d)
-            instance = f"n={n} d={d}"
-
-            def run_uniform(g=g, d=d):
-                lists = uniform_lists(g, d)
-                result = color_sparse_graph(g, d=d, lists=lists)
-                verify_list_coloring(g, result.coloring, lists)
-                return {"colors": result.colors_used(), "budget": d,
-                        "rounds": result.rounds, "valid": True}
-
-            def run_random_lists(g=g, d=d):
-                lists = random_lists(g, d, palette_size=2 * d, seed=d)
-                result = color_sparse_graph(g, d=d, lists=lists)
-                verify_list_coloring(g, result.coloring, lists)
-                return {"colors": result.colors_used(), "budget": d,
-                        "rounds": result.rounds, "valid": True}
-
-            def run_greedy(g=g, d=d):
-                coloring = degeneracy_greedy_coloring(g)
-                return {"colors": len(set(coloring.values())), "budget": d,
-                        "rounds": 0, "valid": True}
-
-            runner.run(instance, "thm1.3 uniform lists", run_uniform)
-            runner.run(instance, "thm1.3 random lists", run_random_lists)
-            runner.run(instance, "greedy baseline", run_greedy)
-    return runner
-
-
-def test_theorem13_colors(benchmark):
-    g = sparse.random_degenerate_graph(80, 2, seed=1)
-    result = benchmark(lambda: color_sparse_graph(g, d=4))
-    assert result.succeeded and result.colors_used() <= 4
-
-
-def test_theorem13_colors_table(capsys):
-    runner = build_table()
-    for row in runner.rows:
-        # with uniform lists {1..d} the number of distinct colors is at most d;
-        # with per-vertex random lists only list-membership is guaranteed
-        # (verified inside the run), not a global palette bound
-        if row.algorithm == "thm1.3 uniform lists":
-            assert row.metrics["colors"] <= row.metrics["budget"]
-        assert row.metrics["valid"]
-    with capsys.disabled():
-        runner.print_table()
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
 
 
 if __name__ == "__main__":
-    build_table().print_table()
+    raise SystemExit(main(["run", SCENARIO]))

@@ -1,64 +1,29 @@
-"""E2 — Theorem 1.3 (rounds): polylogarithmic round complexity.
+"""E2 — Theorem 1.3 (rounds): now the `theorem13-rounds` registry scenario.
 
-Paper claim: the algorithm runs in ``O(d^4 log^3 n)`` rounds
-(``O(d^2 log^3 n)`` when the maximum degree is at most ``d``).  At feasible
-simulation sizes the constants dominate, so the benchmark checks the
-*shape*: the charged round totals, normalised by ``log2(n)^3``, should stay
-bounded as ``n`` grows (they would grow linearly for an Omega(n) algorithm),
-and the fitted polylog exponent should stay close to or below 3.
+All generation, measurement, the polylog fit and export live in
+:mod:`repro.scenarios`.  Run it with::
+
+    PYTHONPATH=src python -m repro run theorem13-rounds
+
+This shim keeps the old ``build_table()`` entry point (returning the
+runner plus the (ns, rounds) series it used to expose).
 """
 
-from repro.analysis import ExperimentRunner, fit_polylog, normalized_by_polylog
-from repro.core import color_sparse_graph
-from repro.graphs.generators import sparse
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "theorem13-rounds"
 
 
-SIZES = (60, 120, 240, 480)
-D = 4
-
-
-def build_table() -> tuple[ExperimentRunner, list[int], list[int]]:
-    runner = ExperimentRunner("E2: Theorem 1.3 — charged rounds vs n (d=4)")
-    ns, rounds = [], []
-    for n in SIZES:
-        g = sparse.union_of_random_forests(n, 2, seed=n)
-
-        def run(g=g):
-            result = color_sparse_graph(g, d=D)
-            assert result.succeeded
-            return {
-                "rounds": result.rounds,
-                "layers": result.peeling.number_of_layers,
-                "rounds/log^3": result.rounds / (max(2, n).bit_length() ** 3),
-            }
-
-        row = runner.run(f"n={n}", "thm1.3 (paper radius)", run)
-        ns.append(n)
-        rounds.append(row.metrics["rounds"])
+def build_table(**overrides):
+    """Run the scenario inline; return (runner, ns, rounds) like the old API."""
+    runner = run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
+    ns = runner.metric_series("thm1.3 (paper radius)", "n")
+    rounds = runner.metric_series("thm1.3 (paper radius)", "rounds")
     return runner, ns, rounds
 
 
-def test_theorem13_rounds(benchmark):
-    g = sparse.union_of_random_forests(120, 2, seed=7)
-    result = benchmark(lambda: color_sparse_graph(g, d=D))
-    assert result.succeeded
-
-
-def test_theorem13_round_scaling_is_polylog(capsys):
-    runner, ns, rounds = build_table()
-    normalized = normalized_by_polylog(ns, rounds, power=3)
-    # bounded ratio across an 8x size range (allow generous slack for the
-    # integer radius jumps of c*log2(n))
-    assert max(normalized) <= 6 * min(normalized)
-    fit = fit_polylog(ns, rounds)
-    assert fit.exponent <= 4.0
-    with capsys.disabled():
-        runner.print_table()
-        print(f"fitted rounds ~ {fit.coefficient:.1f} * log2(n)^{fit.exponent:.2f}")
-
-
 if __name__ == "__main__":
-    runner, ns, rounds = build_table()
-    runner.print_table()
-    fit = fit_polylog(ns, rounds)
-    print(f"fitted rounds ~ {fit.coefficient:.1f} * log2(n)^{fit.exponent:.2f}")
+    raise SystemExit(main(["run", SCENARIO]))

@@ -1,6 +1,10 @@
 """Quickstart: 6-color a planar graph with the paper's algorithm.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
+
+This walks one Corollary 2.3 run by hand; the registered experiments are
+driven by ``python -m repro`` (see ``examples/run_campaign.py`` for the
+programmatic form and ``docs/experiments.md`` for the catalog).
 """
 
 from repro.coloring import uniform_lists, verify_list_coloring

@@ -1,0 +1,11 @@
+"""Entry point for ``python -m repro`` (see :mod:`repro.cli`).
+
+The ``__main__`` guard is load-bearing: on spawn-start platforms the
+process-pool workers re-import the parent's main module, and an
+unconditional ``main()`` here would re-run the CLI inside every worker.
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

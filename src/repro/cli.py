@@ -1,0 +1,244 @@
+"""``python -m repro`` — the reproduction's command line.
+
+Three subcommands drive the scenario registry
+(:mod:`repro.scenarios`):
+
+* ``list`` — show every registered scenario (name, paper statement,
+  parameters) and the named campaigns;
+* ``run <scenario>`` — execute one scenario through the batched process-pool
+  engine and export its ``BENCH_<scenario>.json`` artifact;
+* ``campaign [name]`` — run a named scenario set and merge the artifacts
+  into one ``BENCH_campaign_<name>.json``.
+
+Examples::
+
+    python -m repro list
+    python -m repro run theorem13-colors --smoke
+    python -m repro run theorem13-rounds --n 60,120,240 --seed 7 --profile
+    python -m repro campaign --smoke --out artifacts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from collections.abc import Sequence
+from typing import Any
+
+from repro.scenarios import (
+    CAMPAIGNS,
+    ScenarioError,
+    all_scenarios,
+    get_scenario,
+    run_campaign,
+    run_scenario,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_set(pairs: Sequence[str]) -> dict[str, Any]:
+    """Parse ``--set key=value`` overrides (values via literal_eval, else str)."""
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ScenarioError(f"--set expects key=value, got {pair!r}")
+        try:
+            overrides[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            overrides[key] = raw
+    return overrides
+
+
+def _parse_sizes(raw: str, current: Any) -> Any:
+    """Parse ``--n`` against the scenario's current size parameter shape."""
+    try:
+        values = [int(part) for part in raw.split(",") if part]
+    except ValueError:
+        raise ScenarioError(
+            f"--n expects a comma-separated list of ints, got {raw!r}"
+        ) from None
+    if not values:
+        raise ScenarioError(f"--n expects a comma-separated list of ints, got {raw!r}")
+    if isinstance(current, (list, tuple)):
+        return tuple(values)
+    if len(values) > 1:
+        raise ScenarioError(
+            f"this scenario's size parameter takes a single value, got {raw!r}"
+        )
+    return values[0]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiments from the scenario registry.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios and campaigns")
+    p_list.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p_run = sub.add_parser("run", help="run one scenario and export its artifact")
+    p_run.add_argument("scenario", help="registered scenario name (see `repro list`)")
+    p_run.add_argument("--smoke", action="store_true",
+                       help="use the reduced smoke grid (fast; what CI runs)")
+    p_run.add_argument("--n", dest="sizes", metavar="N[,N...]",
+                       help="override the scenario's size parameter")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="batch base seed (per-task seeds are derived; default 0)")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (1 = inline, default: one per core)")
+    p_run.add_argument("--out", default=None,
+                       help="artifact path or directory (default BENCH_<scenario>.json)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="record per-stage wall time (generate/freeze/solve/verify)")
+    p_run.add_argument("--set", dest="overrides", metavar="KEY=VALUE",
+                       action="append", default=[],
+                       help="override any scenario parameter (repeatable)")
+    p_run.add_argument("--no-check", action="store_true",
+                       help="report paper-reference check failures without failing")
+    p_run.add_argument("--quiet", action="store_true", help="suppress the result table")
+
+    p_camp = sub.add_parser("campaign", help="run a named scenario set, merge artifacts")
+    p_camp.add_argument("name", nargs="?", default="all",
+                        help=f"campaign name (default: all; known: {', '.join(CAMPAIGNS)})")
+    p_camp.add_argument("--smoke", action="store_true",
+                        help="use every scenario's reduced smoke grid")
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument("--workers", type=int, default=None)
+    p_camp.add_argument("--out", default=".",
+                        help="output directory for all artifacts (default: .)")
+    p_camp.add_argument("--profile", action="store_true")
+    p_camp.add_argument("--only", default=None, metavar="NAME[,NAME...]",
+                        help="restrict the campaign to a subset of its scenarios")
+    p_camp.add_argument("--no-check", action="store_true")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scenarios = all_scenarios()
+    if args.json:
+        payload = {
+            "scenarios": [
+                {
+                    "name": s.name,
+                    "title": s.title,
+                    "paper_ref": s.paper_ref,
+                    "params": {k: repr(v) for k, v in s.defaults.items()},
+                    "artifact": f"BENCH_{s.name}.json",
+                }
+                for s in scenarios
+            ],
+            "campaigns": CAMPAIGNS,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    width = max(len(s.name) for s in scenarios)
+    print(f"{len(scenarios)} registered scenarios:\n")
+    for s in scenarios:
+        print(f"  {s.name.ljust(width)}  {s.paper_ref:<28}  {s.title}")
+    print("\ncampaigns:")
+    for name, members in CAMPAIGNS.items():
+        print(f"  {name}: {', '.join(members)}")
+    print("\nrun one with:  python -m repro run <scenario> [--smoke] [--profile]")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    overrides = _parse_set(args.overrides)
+    if args.sizes is not None:
+        if scenario.size_param is None:
+            raise ScenarioError(
+                f"scenario {scenario.name!r} has no size parameter; use --set instead"
+            )
+        current = scenario.params_for(smoke=args.smoke)[scenario.size_param]
+        overrides[scenario.size_param] = _parse_sizes(args.sizes, current)
+
+    run = run_scenario(
+        scenario,
+        smoke=args.smoke,
+        overrides=overrides or None,
+        seed=args.seed,
+        workers=args.workers,
+        profile=args.profile,
+        out=args.out,
+        strict=False,
+    )
+    if not args.quiet:
+        run.runner.print_table()
+        print(f"\nparams: {run.params}")
+        print(f"wall time: {run.seconds:.2f}s")
+    if run.path is not None:
+        print(f"wrote {run.path}")
+    if run.failures:
+        print(f"\n{len(run.failures)} check failure(s):", file=sys.stderr)
+        for failure in run.failures:
+            print(f"  {failure}", file=sys.stderr)
+        if not args.no_check:
+            return 1
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    try:
+        members = CAMPAIGNS[args.name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown campaign {args.name!r}; known campaigns: {', '.join(CAMPAIGNS)}"
+        ) from None
+    if args.only:
+        wanted = [part for part in args.only.split(",") if part]
+        unknown = sorted(set(wanted) - set(members))
+        if unknown:
+            raise ScenarioError(f"--only names not in campaign {args.name!r}: {unknown}")
+        members = [name for name in members if name in wanted]
+
+    campaign = run_campaign(
+        members,
+        campaign=args.name,
+        smoke=args.smoke,
+        seed=args.seed,
+        workers=args.workers,
+        profile=args.profile,
+        out=args.out,
+        strict=False,
+        progress=lambda name: print(f"[campaign {args.name}] running {name} ..."),
+    )
+    print(f"\n{'scenario':<24} {'rows':>5} {'seconds':>8}  checks")
+    for run in campaign.runs:
+        status = "ok" if run.ok else f"{len(run.failures)} FAILED"
+        print(f"{run.scenario.name:<24} {len(run.runner.rows):>5} {run.seconds:>8.2f}  {status}")
+    print(f"\nwrote {campaign.path} (+ {len(campaign.runs)} per-scenario artifacts)")
+    if not campaign.ok:
+        for run in campaign.runs:
+            for failure in run.failures:
+                print(f"  {run.scenario.name}: {failure}", file=sys.stderr)
+        if not args.no_check:
+            return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_campaign(args)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout was closed mid-print (e.g. `repro list | head`); exit quietly
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

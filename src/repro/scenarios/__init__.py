@@ -1,0 +1,58 @@
+"""Declarative scenario registry driving the batched experiment engine.
+
+Each paper experiment is a :class:`~repro.scenarios.base.Scenario`: a
+parameter grid, a task builder producing picklable
+:class:`~repro.analysis.runner.BatchTask` bodies, the paper's reference
+values, and post-run checks.  :func:`~repro.scenarios.base.run_scenario`
+executes one through :meth:`ExperimentRunner.run_batch` (process-pool
+fan-out, deterministic seeding) and exports a schema-versioned
+``BENCH_<scenario>.json``; :func:`~repro.scenarios.base.run_campaign` runs
+a named set and merges the artifacts.  ``python -m repro`` is the CLI.
+
+Importing this package registers the full catalog
+(:mod:`repro.scenarios.catalog`).
+"""
+
+from repro.scenarios.base import (
+    PROFILE_STAGES,
+    CampaignRun,
+    Scenario,
+    ScenarioCheckError,
+    ScenarioError,
+    ScenarioRun,
+    StageProfile,
+    run_campaign,
+    run_scenario,
+)
+from repro.scenarios.registry import (
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.scenarios.catalog import CAMPAIGNS  # noqa: E402 - populates the registry
+from repro.scenarios.schema import (
+    ArtifactSchemaError,
+    assert_valid_artifact,
+    validate_artifact,
+)
+
+__all__ = [
+    "PROFILE_STAGES",
+    "CAMPAIGNS",
+    "ArtifactSchemaError",
+    "CampaignRun",
+    "Scenario",
+    "ScenarioCheckError",
+    "ScenarioError",
+    "ScenarioRun",
+    "StageProfile",
+    "all_scenarios",
+    "assert_valid_artifact",
+    "get_scenario",
+    "register",
+    "run_campaign",
+    "run_scenario",
+    "scenario_names",
+    "validate_artifact",
+]

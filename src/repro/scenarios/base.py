@@ -1,0 +1,325 @@
+"""Scenario machinery: declarative experiments executed by the batch engine.
+
+A :class:`Scenario` is the declarative form of one paper experiment: which
+graphs to generate (the parameter grid), which algorithms to run on them,
+which quantities to measure, and which paper statement the numbers are
+checked against.  Scenarios do not run anything themselves — they *build*
+:class:`~repro.analysis.runner.BatchTask` lists, and :func:`run_scenario`
+hands those to :meth:`ExperimentRunner.run_batch`, which fans them out over
+a process pool with deterministic per-task seeding and exports a
+schema-versioned ``BENCH_<scenario>.json`` artifact.
+
+The registry of concrete scenarios lives in :mod:`repro.scenarios.catalog`;
+the ``python -m repro`` CLI (:mod:`repro.cli`) is a thin shell around
+:func:`run_scenario` / :func:`run_campaign`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.analysis import BatchTask, ExperimentRunner
+
+__all__ = [
+    "PROFILE_STAGES",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioCheckError",
+    "ScenarioRun",
+    "CampaignRun",
+    "StageProfile",
+    "run_scenario",
+    "run_campaign",
+]
+
+#: The canonical pipeline stages reported by ``--profile``.
+PROFILE_STAGES = ("generate", "freeze", "solve", "verify")
+
+
+class ScenarioError(Exception):
+    """A scenario could not be resolved or executed."""
+
+
+class ScenarioCheckError(ScenarioError):
+    """A scenario ran, but its paper-reference checks failed."""
+
+    def __init__(self, name: str, failures: Sequence[str]):
+        self.failures = list(failures)
+        super().__init__(
+            f"scenario {name!r} failed {len(self.failures)} check(s):\n  "
+            + "\n  ".join(self.failures)
+        )
+
+
+class StageProfile:
+    """Per-stage wall-time accounting for ``--profile`` runs.
+
+    Tasks wrap their pipeline stages in ``with prof("generate"): ...`` etc.
+    and merge ``prof.metrics()`` into their metric mapping.  All four
+    canonical stages are always present in the output (0.0 when a task has
+    no such stage), so artifacts stay directly comparable across scenarios.
+    When profiling is disabled, :meth:`metrics` is empty and the timing
+    overhead is two clock reads per stage.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.seconds: dict[str, float] = dict.fromkeys(PROFILE_STAGES, 0.0)
+
+    @contextmanager
+    def __call__(self, stage: str):
+        if stage not in self.seconds:
+            raise ValueError(f"unknown profile stage {stage!r}; use one of {PROFILE_STAGES}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[stage] += time.perf_counter() - start
+
+    def metrics(self) -> dict[str, Any]:
+        if not self.enabled:
+            return {}
+        return {"stage_seconds": {k: round(v, 6) for k, v in self.seconds.items()}}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One paper experiment, declared: grid, tasks, references, checks.
+
+    ``build_tasks(params, profile)`` must return :class:`BatchTask`\\ s whose
+    ``fn`` is a module-level callable (process-pool workers pickle it by
+    qualified name) — the workers live in :mod:`repro.scenarios.tasks`.
+    ``reference`` records the paper values the measured quantities are read
+    against (documented per scenario in ``docs/experiments.md``); ``check``
+    turns the load-bearing ones into assertions on the finished runner.
+    """
+
+    name: str
+    title: str
+    paper_ref: str
+    description: str
+    build_tasks: Callable[[Mapping[str, Any], bool], list[BatchTask]]
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    smoke_overrides: Mapping[str, Any] = field(default_factory=dict)
+    reference: Mapping[str, Any] = field(default_factory=dict)
+    #: Name of the parameter the CLI's ``--n`` maps onto (None: no size knob).
+    size_param: str | None = None
+    #: Scenarios that time code inside tasks run serially so concurrent
+    #: workers cannot skew the measurements.
+    serial_only: bool = False
+    #: Post-run hook computing derived rows/metadata (fits, speedups).
+    finalize: Callable[[ExperimentRunner, Mapping[str, Any]], None] | None = None
+    #: Post-run hook returning a list of failure strings (empty = pass).
+    check: Callable[[ExperimentRunner, Mapping[str, Any]], list[str]] | None = None
+
+    def params_for(
+        self, *, smoke: bool = False, overrides: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Resolve the effective parameter grid (defaults < smoke < overrides)."""
+        params = dict(self.defaults)
+        if smoke:
+            params.update(self.smoke_overrides)
+        for key, value in (overrides or {}).items():
+            if key not in params:
+                raise ScenarioError(
+                    f"scenario {self.name!r} has no parameter {key!r}; "
+                    f"known parameters: {sorted(params)}"
+                )
+            params[key] = value
+        return params
+
+    def artifact_path(self, out: str | Path | None = None) -> Path:
+        """Where :func:`run_scenario` writes the artifact (``BENCH_<name>.json``).
+
+        ``out`` is a directory unless it names a ``.json`` file — so
+        ``--out artifacts/`` works whether or not the directory exists yet.
+        """
+        if out is None:
+            return Path(f"BENCH_{self.name}.json")
+        path = Path(out)
+        if path.suffix == ".json" and not path.is_dir():
+            return path
+        return path / f"BENCH_{self.name}.json"
+
+
+@dataclass
+class ScenarioRun:
+    """The result of :func:`run_scenario`: the runner plus run bookkeeping."""
+
+    scenario: Scenario
+    params: dict[str, Any]
+    runner: ExperimentRunner
+    path: Path | None
+    failures: list[str]
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class CampaignRun:
+    """The result of :func:`run_campaign`: one :class:`ScenarioRun` per member."""
+
+    name: str
+    runs: list[ScenarioRun]
+    path: Path | None
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+
+def _resolve(scenario: "Scenario | str") -> Scenario:
+    if isinstance(scenario, Scenario):
+        return scenario
+    from repro.scenarios.registry import get_scenario
+
+    return get_scenario(scenario)
+
+
+def run_scenario(
+    scenario: "Scenario | str",
+    *,
+    smoke: bool = False,
+    overrides: Mapping[str, Any] | None = None,
+    seed: int = 0,
+    workers: int | None = None,
+    profile: bool = False,
+    export: bool = True,
+    out: str | Path | None = None,
+    strict: bool = True,
+) -> ScenarioRun:
+    """Execute one scenario through :meth:`ExperimentRunner.run_batch`.
+
+    ``workers=1`` forces inline execution (no process pool) — the mode the
+    test suite and ``--smoke`` CI job use; ``workers=None`` lets the pool
+    pick one worker per core.  ``seed`` is the batch's ``base_seed``: every
+    task receives a deterministic seed derived from it and the task index,
+    so a scenario's artifact is reproducible bit-for-bit at any worker
+    count.  With ``strict`` (the default) failing paper-reference checks
+    raise :class:`ScenarioCheckError`; the failures are always recorded on
+    the returned :class:`ScenarioRun` and in the artifact metadata.
+    """
+    scenario = _resolve(scenario)
+    params = scenario.params_for(smoke=smoke, overrides=overrides)
+    tasks = scenario.build_tasks(params, profile)
+    if not tasks:
+        raise ScenarioError(f"scenario {scenario.name!r} built an empty task list")
+
+    runner = ExperimentRunner(
+        scenario.name,
+        metadata={
+            "scenario": {
+                "name": scenario.name,
+                "title": scenario.title,
+                "paper_ref": scenario.paper_ref,
+                "smoke": smoke,
+                "profile": profile,
+                "seed": seed,
+                "workers": workers,
+                "serial": scenario.serial_only or workers == 1,
+            },
+            "params": params,
+            "reference": dict(scenario.reference),
+        },
+    )
+    parallel = not scenario.serial_only and workers != 1
+    start = time.perf_counter()
+    runner.run_batch(tasks, max_workers=workers, base_seed=seed, parallel=parallel)
+    elapsed = time.perf_counter() - start
+
+    if scenario.finalize is not None:
+        scenario.finalize(runner, params)
+    failures = list(scenario.check(runner, params)) if scenario.check is not None else []
+    runner.metadata["check_failures"] = failures
+
+    path: Path | None = None
+    if export:
+        from repro.scenarios.schema import assert_valid_artifact
+
+        artifact = runner.to_json_dict()
+        assert_valid_artifact(artifact, expected_name=scenario.name, profile=profile)
+        path = scenario.artifact_path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        runner.export_json(path)
+
+    run = ScenarioRun(
+        scenario=scenario,
+        params=params,
+        runner=runner,
+        path=path,
+        failures=failures,
+        seconds=elapsed,
+    )
+    if strict and failures:
+        raise ScenarioCheckError(scenario.name, failures)
+    return run
+
+
+def run_campaign(
+    names: Sequence[str],
+    *,
+    campaign: str = "campaign",
+    smoke: bool = False,
+    seed: int = 0,
+    workers: int | None = None,
+    profile: bool = False,
+    out: str | Path | None = None,
+    strict: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignRun:
+    """Run a named set of scenarios and merge their artifacts.
+
+    Each member scenario writes its own ``BENCH_<name>.json`` into ``out``
+    (default: the current directory), and the campaign additionally writes a
+    merged ``BENCH_campaign_<campaign>.json`` holding every member artifact
+    plus a summary — one file that captures the whole run.
+    """
+    import json
+
+    out_dir = Path(out) if out is not None else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runs: list[ScenarioRun] = []
+    for name in names:
+        if progress is not None:
+            progress(name)
+        runs.append(
+            run_scenario(
+                name,
+                smoke=smoke,
+                seed=seed,
+                workers=workers,
+                profile=profile,
+                out=out_dir,
+                strict=strict,
+            )
+        )
+
+    merged = {
+        "schema_version": 1,
+        "campaign": campaign,
+        "smoke": smoke,
+        "seed": seed,
+        "summary": [
+            {
+                "scenario": run.scenario.name,
+                "paper_ref": run.scenario.paper_ref,
+                "rows": len(run.runner.rows),
+                "seconds": round(run.seconds, 3),
+                "check_failures": run.failures,
+                "artifact": run.path.name if run.path else None,
+            }
+            for run in runs
+        ],
+        "scenarios": {run.scenario.name: run.runner.to_json_dict() for run in runs},
+    }
+    path = out_dir / f"BENCH_campaign_{campaign}.json"
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return CampaignRun(name=campaign, runs=runs, path=path)

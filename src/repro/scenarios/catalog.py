@@ -1,0 +1,643 @@
+"""The scenario catalog: every paper experiment as a registry entry.
+
+One :func:`~repro.scenarios.registry.register` call per experiment, in the
+order the statements appear in the paper.  Each entry declares its
+parameter grid (``defaults``), the reduced grid used by ``--smoke`` / CI /
+the test suite (``smoke_overrides``), the reference values claimed by the
+paper, and a ``check`` turning the load-bearing claims into assertions on
+the finished :class:`~repro.analysis.runner.ExperimentRunner`.
+
+``docs/experiments.md`` documents every entry; keep the two in sync.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.analysis import BatchTask, ExperimentRunner, fit_polylog, normalized_by_polylog
+from repro.scenarios import tasks
+from repro.scenarios.base import Scenario
+from repro.scenarios.registry import register
+
+__all__ = ["CAMPAIGNS"]
+
+Params = Mapping[str, Any]
+
+
+def _budget_failures(runner: ExperimentRunner, *, algorithms: list[str] | None = None) -> list[str]:
+    """Rows whose ``colors`` exceed their ``budget`` (optionally filtered)."""
+    failures = []
+    for row in runner.rows:
+        if algorithms is not None and row.algorithm not in algorithms:
+            continue
+        if "colors" in row.metrics and "budget" in row.metrics:
+            if row.metrics["colors"] > row.metrics["budget"]:
+                failures.append(
+                    f"{row.instance} / {row.algorithm}: used {row.metrics['colors']} "
+                    f"colors, budget {row.metrics['budget']}"
+                )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# E1 — theorem13-colors
+# ---------------------------------------------------------------------------
+
+def _build_theorem13_colors(params: Params, profile: bool) -> list[BatchTask]:
+    built = []
+    for d in params["ds"]:
+        for n in params["sizes"]:
+            instance = f"n={n} d={d}"
+            for variant, algorithm in (
+                ("uniform", "thm1.3 uniform lists"),
+                ("random", "thm1.3 random lists"),
+                ("greedy", "greedy baseline"),
+            ):
+                built.append(BatchTask(
+                    instance, algorithm, tasks.theorem13_colors,
+                    args=(n, d, variant), kwargs={"profile": profile},
+                ))
+    return built
+
+
+def _check_theorem13_colors(runner: ExperimentRunner, params: Params) -> list[str]:
+    failures = _budget_failures(runner, algorithms=["thm1.3 uniform lists"])
+    failures += [
+        f"{row.instance} / {row.algorithm}: verification failed"
+        for row in runner.rows
+        if not row.metrics.get("valid", True)
+    ]
+    return failures
+
+
+register(Scenario(
+    name="theorem13-colors",
+    title="Theorem 1.3 — colors used vs. the budget d",
+    paper_ref="Theorem 1.3",
+    description=(
+        "d-list-coloring of graphs with mad <= d (uniform and per-vertex "
+        "random lists) against the degeneracy-greedy baseline, which needs "
+        "one more color."
+    ),
+    build_tasks=_build_theorem13_colors,
+    defaults={"sizes": (80, 160), "ds": (4, 6)},
+    smoke_overrides={"sizes": (40,), "ds": (4,)},
+    reference={
+        "colors": "<= d with uniform lists {1..d}",
+        "baseline": "floor(mad)+1 colors (degeneracy greedy)",
+    },
+    size_param="sizes",
+    check=_check_theorem13_colors,
+))
+
+
+# ---------------------------------------------------------------------------
+# E2 — theorem13-rounds
+# ---------------------------------------------------------------------------
+
+def _build_theorem13_rounds(params: Params, profile: bool) -> list[BatchTask]:
+    return [
+        BatchTask(
+            f"n={n}", "thm1.3 (paper radius)", tasks.theorem13_rounds,
+            args=(n, params["d"]), kwargs={"profile": profile},
+        )
+        for n in params["sizes"]
+    ]
+
+
+def _round_series(runner: ExperimentRunner) -> tuple[list[int], list[int]]:
+    ns = runner.metric_series("thm1.3 (paper radius)", "n")
+    rounds = runner.metric_series("thm1.3 (paper radius)", "rounds")
+    return ns, rounds
+
+
+def _finalize_theorem13_rounds(runner: ExperimentRunner, params: Params) -> None:
+    ns, rounds = _round_series(runner)
+    if len(ns) >= 3:
+        fit = fit_polylog(ns, rounds)
+        runner.metadata["fit"] = {
+            "model": "rounds ~ c * log2(n)^e",
+            "coefficient": round(fit.coefficient, 3),
+            "exponent": round(fit.exponent, 3),
+        }
+
+
+def _check_theorem13_rounds(runner: ExperimentRunner, params: Params) -> list[str]:
+    ns, rounds = _round_series(runner)
+    failures = []
+    if len(ns) >= 3:
+        normalized = normalized_by_polylog(ns, rounds, power=3)
+        if max(normalized) > 6 * min(normalized):
+            failures.append(
+                f"rounds/log^3 not bounded: min {min(normalized):.3f}, "
+                f"max {max(normalized):.3f} (> 6x)"
+            )
+        fit = fit_polylog(ns, rounds)
+        if fit.exponent > 4.0:
+            failures.append(f"fitted polylog exponent {fit.exponent:.2f} > 4.0")
+    return failures
+
+
+register(Scenario(
+    name="theorem13-rounds",
+    title="Theorem 1.3 — charged rounds vs n",
+    paper_ref="Theorem 1.3",
+    description=(
+        "Round complexity of the Theorem 1.3 driver on unions of two random "
+        "forests: the charged totals normalised by log2(n)^3 stay bounded "
+        "as n grows, and the fitted polylog exponent stays <= 4."
+    ),
+    build_tasks=_build_theorem13_rounds,
+    defaults={"sizes": (60, 120, 240, 480), "d": 4},
+    smoke_overrides={"sizes": (40, 80)},
+    reference={"rounds": "O(d^4 log^3 n), O(d^2 log^3 n) when max degree <= d"},
+    size_param="sizes",
+    finalize=_finalize_theorem13_rounds,
+    check=_check_theorem13_rounds,
+))
+
+
+# ---------------------------------------------------------------------------
+# E5 — corollary14-arboricity
+# ---------------------------------------------------------------------------
+
+def _build_corollary14(params: Params, profile: bool) -> list[BatchTask]:
+    built = []
+    for a in params["arboricities"]:
+        for n in params["ns"]:
+            instance = f"n={n} a={a}"
+            built.append(BatchTask(
+                instance, "Cor 1.4 (2a colors)", tasks.corollary14_arboricity,
+                args=(n, a, "ours"), kwargs={"profile": profile},
+            ))
+            built.append(BatchTask(
+                instance, "Barenboim-Elkin", tasks.corollary14_arboricity,
+                args=(n, a, "barenboim-elkin"), kwargs={"profile": profile},
+            ))
+    return built
+
+
+def _check_corollary14(runner: ExperimentRunner, params: Params) -> list[str]:
+    ours = runner.metric_series("Cor 1.4 (2a colors)", "palette")
+    baseline = runner.metric_series("Barenboim-Elkin", "palette")
+    failures = []
+    for o, b in zip(ours, baseline):
+        if o >= b:
+            failures.append(f"palette not strictly smaller: ours {o} vs Barenboim-Elkin {b}")
+    return failures
+
+
+register(Scenario(
+    name="corollary14-arboricity",
+    title="Corollary 1.4 vs Barenboim–Elkin",
+    paper_ref="Corollary 1.4",
+    description=(
+        "2a-list-coloring of graphs with arboricity a >= 2 against "
+        "Barenboim–Elkin's floor((2+eps)a)+1 colors — the paper's palette "
+        "is strictly smaller on every instance."
+    ),
+    build_tasks=_build_corollary14,
+    defaults={"ns": (120,), "arboricities": (2, 3)},
+    smoke_overrides={"ns": (60,), "arboricities": (2,)},
+    reference={
+        "palette": "2a colors in O(a^4 log^3 n) rounds",
+        "baseline": "floor((2+eps)a)+1 colors in O(a log n) rounds",
+    },
+    size_param="ns",
+    check=_check_corollary14,
+))
+
+
+# ---------------------------------------------------------------------------
+# E7 — corollary21-brooks
+# ---------------------------------------------------------------------------
+
+def _build_corollary21(params: Params, profile: bool) -> list[BatchTask]:
+    built = []
+    for degree in params["degrees"]:
+        for n in params["ns"]:
+            if n * degree % 2:
+                n += 1
+            instance = f"{degree}-regular n={n}"
+            for variant, algorithm in (
+                ("brooks", "Cor 2.1 (Delta colors)"),
+                ("greedy", "greedy (Delta+1)"),
+                ("nice", "Thm 6.1 (nice lists)"),
+            ):
+                built.append(BatchTask(
+                    instance, algorithm, tasks.corollary21_brooks,
+                    args=(n, degree, variant), kwargs={"profile": profile},
+                ))
+    return built
+
+
+def _check_budgets(runner: ExperimentRunner, params: Params) -> list[str]:
+    return _budget_failures(runner)
+
+
+register(Scenario(
+    name="corollary21-brooks",
+    title="Corollary 2.1 (Brooks) and Theorem 6.1 (nice lists)",
+    paper_ref="Corollary 2.1 / Theorem 6.1",
+    description=(
+        "Δ-list-coloring of K_{Δ+1}-free graphs of maximum degree Δ >= 3 "
+        "(one color better than greedy), plus the nice-list-assignment "
+        "generalisation of Theorem 6.1."
+    ),
+    build_tasks=_build_corollary21,
+    defaults={"ns": (60, 120), "degrees": (4, 5)},
+    smoke_overrides={"ns": (40,), "degrees": (4,)},
+    reference={"colors": "Delta colors in O(Delta^2 log^3 n) rounds"},
+    size_param="ns",
+    check=_check_budgets,
+))
+
+
+# ---------------------------------------------------------------------------
+# E6 — corollary23-planar
+# ---------------------------------------------------------------------------
+
+def _build_corollary23(params: Params, profile: bool) -> list[BatchTask]:
+    n = params["n"]
+    cases = [
+        ("triangulation", "cor23", f"planar triangulation n={n}", "Cor 2.3 (6 colors)"),
+        ("triangulation", "gps", f"planar triangulation n={n}", "GPS (7 colors)"),
+        ("triangle-free", "cor23", f"triangle-free planar n={n}", "Cor 2.3 (4 colors)"),
+        ("high-girth", "cor23", f"girth>=6 planar n={n}", "Cor 2.3 (3 colors)"),
+    ]
+    return [
+        BatchTask(
+            instance, algorithm, tasks.corollary23_planar,
+            args=(family, n, solver), kwargs={"profile": profile},
+        )
+        for family, solver, instance, algorithm in cases
+    ]
+
+
+register(Scenario(
+    name="corollary23-planar",
+    title="Corollary 2.3 on planar graphs vs GPS",
+    paper_ref="Corollary 2.3",
+    description=(
+        "6-list-coloring of planar graphs, 4 for triangle-free and 3 for "
+        "girth >= 6, all in O(log^3 n) rounds, against the 7 colors of "
+        "Goldberg–Plotkin–Shannon in O(log n) rounds."
+    ),
+    build_tasks=_build_corollary23,
+    defaults={"n": 150},
+    smoke_overrides={"n": 60},
+    reference={
+        "planar": "6 colors", "triangle-free": "4 colors",
+        "girth>=6": "3 colors", "GPS baseline": "7 colors",
+    },
+    size_param="n",
+    check=_check_budgets,
+))
+
+
+# ---------------------------------------------------------------------------
+# E8 — corollary211-genus
+# ---------------------------------------------------------------------------
+
+def _build_corollary211(params: Params, profile: bool) -> list[BatchTask]:
+    built = []
+    for k, length in params["sizes"]:
+        instance = f"torus triangulation {k}x{length} (n={k * length})"
+        for improved, algorithm in ((False, "H(g)=7 budget"), (True, "H(g)-1=6 budget")):
+            built.append(BatchTask(
+                instance, algorithm, tasks.corollary211_genus,
+                args=(k, length, improved), kwargs={"profile": profile},
+                seed_arg=None,
+            ))
+    return built
+
+
+register(Scenario(
+    name="corollary211-genus",
+    title="Corollary 2.11 on toroidal triangulations (Euler genus 2)",
+    paper_ref="Corollary 2.11",
+    description=(
+        "H(g)-list-coloring of graphs embedded on a fixed surface, and "
+        "H(g)-1 colors when the Heawood mad bound is an integer and the "
+        "graph is not K_{H(g)} — measured on 6-regular toroidal "
+        "triangulations (Heawood number 7)."
+    ),
+    build_tasks=_build_corollary211,
+    defaults={"sizes": ((6, 8), (8, 10))},
+    smoke_overrides={"sizes": ((6, 6),)},
+    reference={"budget": "H(g) colors, H(g)-1 in the improved regime"},
+    # sizes are (k, l) torus dimensions, not a flat list — no --n mapping;
+    # override with --set sizes="((8, 10),)" instead
+    check=_check_budgets,
+))
+
+
+# ---------------------------------------------------------------------------
+# E3 — lemma31-happy-fraction
+# ---------------------------------------------------------------------------
+
+def _build_lemma31(params: Params, profile: bool) -> list[BatchTask]:
+    return [
+        BatchTask(
+            f"{family} n={n}", f"classification d={d}", tasks.lemma31_happy_fraction,
+            args=(family, n, d), kwargs={"profile": profile},
+        )
+        for family, n, d in params["cases"]
+    ]
+
+
+def _check_lemma31(runner: ExperimentRunner, params: Params) -> list[str]:
+    return [
+        f"{row.instance}: happy fraction {row.metrics['happy_fraction']} below "
+        f"paper bound {row.metrics['paper_bound']}"
+        for row in runner.rows
+        if row.metrics["happy_fraction"] < row.metrics["paper_bound"]
+    ]
+
+
+register(Scenario(
+    name="lemma31-happy-fraction",
+    title="Lemma 3.1 — happy fraction and peeling layers",
+    paper_ref="Lemma 3.1",
+    description=(
+        "The happy set of the first peeling layer is a constant fraction "
+        "of the graph (|A| >= n/(3d)^3, and n/(12d+1) without poor "
+        "vertices), including the adversarial d-regular case."
+    ),
+    build_tasks=_build_lemma31,
+    defaults={"cases": (("forest-union", 200, 4), ("planar", 200, 6), ("regular", 120, 4))},
+    smoke_overrides={"cases": (("forest-union", 80, 4), ("planar", 80, 6), ("regular", 60, 4))},
+    reference={
+        "happy_fraction": ">= 1/(3d)^3, >= 1/(12d+1) without poor vertices",
+        "layers": "O(d^3 log n), O(d log n) without poor vertices",
+    },
+    check=_check_lemma31,
+))
+
+
+# ---------------------------------------------------------------------------
+# E4 — lemma32-extension
+# ---------------------------------------------------------------------------
+
+def _build_lemma32(params: Params, profile: bool) -> list[BatchTask]:
+    return [
+        BatchTask(
+            f"{family} n={n}", f"extension d={d} r={radius}", tasks.lemma32_extension,
+            args=(family, n, d, radius), kwargs={"profile": profile},
+        )
+        for family, n, d, radius in params["cases"]
+    ]
+
+
+def _check_lemma32(runner: ExperimentRunner, params: Params) -> list[str]:
+    return [
+        f"{row.instance}: extension charged no rounds"
+        for row in runner.rows
+        if row.metrics["rounds"] <= 0
+    ]
+
+
+register(Scenario(
+    name="lemma32-extension",
+    title="Lemma 3.2 — one extension step",
+    paper_ref="Lemma 3.2",
+    description=(
+        "Extending a list-coloring of G - A to G with the ruling forest, "
+        "the (d+1) stable partition and layered tree coloring; reports the "
+        "roots, tree vertices and recolored sad vertices of the proof."
+    ),
+    build_tasks=_build_lemma32,
+    defaults={"cases": (("planar", 120, 6, 3), ("planar", 240, 6, 4), ("forest-union", 200, 4, 4))},
+    smoke_overrides={"cases": (("planar", 80, 6, 3),)},
+    reference={"rounds": "O(d log^2 n) per extension step"},
+    check=_check_lemma32,
+))
+
+
+# ---------------------------------------------------------------------------
+# E9 — lowerbound-fisk
+# ---------------------------------------------------------------------------
+
+def _build_fisk(params: Params, profile: bool) -> list[BatchTask]:
+    return [
+        BatchTask(
+            f"n={n}", "Observation 2.4 certificate", tasks.lowerbound_fisk,
+            args=(n, rounds), kwargs={"profile": profile}, seed_arg=None,
+        )
+        for n, rounds in params["cases"]
+    ]
+
+
+def _check_fisk(runner: ExperimentRunner, params: Params) -> list[str]:
+    rounds = runner.metric_series("Observation 2.4 certificate", "certified_rounds")
+    ns = runner.metric_series("Observation 2.4 certificate", "obstruction_n")
+    failures = []
+    if rounds != sorted(rounds):
+        failures.append(f"certified rounds not monotone: {rounds}")
+    if len(rounds) >= 2 and rounds[-1] / ns[-1] < 0.5 * rounds[0] / ns[0]:
+        failures.append(
+            f"certified bound not linear in n: rounds/n fell from "
+            f"{rounds[0] / ns[0]:.3f} to {rounds[-1] / ns[-1]:.3f}"
+        )
+    return failures
+
+
+register(Scenario(
+    name="lowerbound-fisk",
+    title="Theorem 1.5 — 4-coloring planar graphs needs Omega(n) rounds",
+    paper_ref="Theorem 1.5",
+    description=(
+        "Indistinguishability certificate: a locally planar toroidal "
+        "triangulation with chromatic number 5 forces any algorithm that "
+        "4-colors all planar graphs to spend Omega(n) rounds."
+    ),
+    build_tasks=_build_fisk,
+    defaults={"cases": ((29, 3), (49, 6), (97, 14))},
+    smoke_overrides={"cases": ((29, 3),)},
+    reference={"certified_rounds": "grows linearly in n (Omega(n))"},
+    check=_check_fisk,
+))
+
+
+# ---------------------------------------------------------------------------
+# E10 — lowerbound-grids
+# ---------------------------------------------------------------------------
+
+def _build_grids(params: Params, profile: bool) -> list[BatchTask]:
+    built = [
+        BatchTask(
+            f"G_5x{2 * length + 1}", "Thm 2.5 certificate", tasks.lowerbound_triangle_free,
+            args=(length, rounds), kwargs={"profile": profile}, seed_arg=None,
+        )
+        for length, rounds in params["tf_cases"]
+    ]
+    built += [
+        BatchTask(
+            f"G_{2 * k + 1}x{2 * k + 1}", "Thm 2.6 certificate",
+            tasks.lowerbound_bipartite_grid,
+            args=(k, rounds), kwargs={"profile": profile}, seed_arg=None,
+        )
+        for k, rounds in params["bip_cases"]
+    ]
+    return built
+
+
+def _check_grids(runner: ExperimentRunner, params: Params) -> list[str]:
+    failures = []
+    for algorithm in ("Thm 2.5 certificate", "Thm 2.6 certificate"):
+        rounds = runner.metric_series(algorithm, "certified_rounds")
+        if rounds != sorted(rounds):
+            failures.append(f"{algorithm}: certified rounds not monotone: {rounds}")
+    return failures
+
+
+register(Scenario(
+    name="lowerbound-grids",
+    title="Theorems 2.5/2.6 — 3-coloring lower bounds from Klein-bottle grids",
+    paper_ref="Theorems 2.5 and 2.6",
+    description=(
+        "No o(n)-round algorithm 3-colors every triangle-free planar graph "
+        "(G_{5,2l+1}), and no o(sqrt(n))-round algorithm 3-colors every "
+        "planar bipartite graph (G_{2k+1,2k+1})."
+    ),
+    build_tasks=_build_grids,
+    defaults={"tf_cases": ((4, 2), (8, 6), (12, 10)), "bip_cases": ((4, 2), (6, 4), (8, 6))},
+    smoke_overrides={"tf_cases": ((4, 2),), "bip_cases": ((4, 2),)},
+    reference={
+        "Thm 2.5": "certified rounds grow ~ n",
+        "Thm 2.6": "certified rounds grow ~ sqrt(n)",
+    },
+    check=_check_grids,
+))
+
+
+# ---------------------------------------------------------------------------
+# E11/E12/E13 — primitives
+# ---------------------------------------------------------------------------
+
+def _build_primitives(params: Params, profile: bool) -> list[BatchTask]:
+    built = [
+        BatchTask(
+            f"path n={n}", "Cole-Vishkin (3 colors)", tasks.primitives_cole_vishkin,
+            args=(n,), kwargs={"profile": profile}, seed_arg=None,
+        )
+        for n in params["cv_sizes"]
+    ]
+    built += [
+        BatchTask(
+            f"{params['dp1_degree']}-regular n={n}", "Linial + reduction (Delta+1)",
+            tasks.primitives_delta_plus_one,
+            args=(n, params["dp1_degree"]), kwargs={"profile": profile},
+        )
+        for n in params["dp1_sizes"]
+    ]
+    built += [
+        BatchTask(
+            f"grid n={n}", f"ruling forest (alpha={params['ruling_alpha']})",
+            tasks.primitives_ruling_forest,
+            args=(n, params["ruling_alpha"]), kwargs={"profile": profile}, seed_arg=None,
+        )
+        for n in params["ruling_sizes"]
+    ]
+    lb_n, lb_rounds = params["path_lb"]
+    built.append(BatchTask(
+        f"path n={lb_n}", "2-coloring lower bound (Omega(n))",
+        tasks.primitives_path_lower_bound,
+        args=(lb_n, lb_rounds), kwargs={"profile": profile}, seed_arg=None,
+    ))
+
+    # E13: the CSR speedup A/B shares one fixed seed across all four tasks
+    # so the dict-of-sets and FrozenGraph timings see the same instance.
+    n, a, radius, seed = (
+        params["csr_n"], params["csr_arboricity"], params["csr_radius"], params["csr_seed"],
+    )
+    instance = f"forest_union n={n} a={a}"
+    for backend in ("dict-of-sets", "CSR"):
+        key = "dict" if backend == "dict-of-sets" else "csr"
+        built.append(BatchTask(
+            instance, f"degeneracy ordering ({backend})", tasks.primitives_degeneracy,
+            args=(n, a, key), kwargs={"seed": seed, "profile": profile}, seed_arg=None,
+        ))
+        built.append(BatchTask(
+            instance, f"ball collection r={radius} ({backend})", tasks.primitives_balls,
+            args=(n, a, radius, key), kwargs={"seed": seed, "profile": profile},
+            seed_arg=None,
+        ))
+    return built
+
+
+def _finalize_primitives(runner: ExperimentRunner, params: Params) -> None:
+    radius = params["csr_radius"]
+    instance = f"forest_union n={params['csr_n']} a={params['csr_arboricity']}"
+    for primitive in ("degeneracy ordering", f"ball collection r={radius}"):
+        baseline = runner.metric_series(f"{primitive} (dict-of-sets)", "compute_seconds")
+        csr = runner.metric_series(f"{primitive} (CSR)", "compute_seconds")
+        if baseline and csr and csr[0] > 0:
+            speedup = round(baseline[0] / csr[0], 2)
+            runner.metadata[f"speedup[{primitive}]"] = speedup
+            runner.add(instance, f"{primitive} speedup", speedup_x=speedup)
+
+
+def _check_primitives(runner: ExperimentRunner, params: Params) -> list[str]:
+    cv_rounds = runner.metric_series("Cole-Vishkin (3 colors)", "rounds")
+    failures = []
+    if len(cv_rounds) >= 2 and cv_rounds[-1] > cv_rounds[0] + 6:
+        failures.append(
+            f"Cole-Vishkin rounds grew from {cv_rounds[0]} to {cv_rounds[-1]} "
+            "across the size sweep — not log*-like"
+        )
+    return failures
+
+
+register(Scenario(
+    name="primitives",
+    title="E11/E12 primitives — measured rounds, plus the E13 CSR speedup tracker",
+    paper_ref="Section 2 building blocks / Observation 2.4",
+    description=(
+        "Round counts of the distributed building blocks (Cole–Vishkin, "
+        "Linial + reduction, ruling forests, the path 2-coloring lower "
+        "bound) and the dict-of-sets vs FrozenGraph CSR timing A/B on "
+        "degeneracy peeling and ball collection."
+    ),
+    build_tasks=_build_primitives,
+    defaults={
+        "cv_sizes": (50, 500, 5000),
+        "dp1_sizes": (60, 240), "dp1_degree": 4,
+        "ruling_sizes": (100, 400), "ruling_alpha": 4,
+        "path_lb": (200, 20),
+        "csr_n": 10_000, "csr_arboricity": 3, "csr_radius": 8, "csr_seed": 42,
+    },
+    smoke_overrides={
+        "cv_sizes": (50, 200),
+        "dp1_sizes": (60,),
+        "ruling_sizes": (100,),
+        "path_lb": (60, 5),
+        "csr_n": 800, "csr_radius": 4,
+    },
+    reference={
+        "Cole-Vishkin": "O(log* n) rounds (Linial: Omega(log* n) necessary)",
+        "path lower bound": "2-coloring a path needs Omega(n) rounds",
+    },
+    serial_only=True,
+    finalize=_finalize_primitives,
+    check=_check_primitives,
+))
+
+
+# ---------------------------------------------------------------------------
+# Campaigns: named scenario sets for `python -m repro campaign`
+# ---------------------------------------------------------------------------
+
+from repro.scenarios.registry import scenario_names  # noqa: E402
+
+CAMPAIGNS: dict[str, list[str]] = {
+    "all": scenario_names(),
+    "upperbounds": [
+        "theorem13-colors", "theorem13-rounds", "corollary14-arboricity",
+        "corollary21-brooks", "corollary23-planar", "corollary211-genus",
+        "lemma31-happy-fraction", "lemma32-extension",
+    ],
+    "lowerbounds": ["lowerbound-fisk", "lowerbound-grids"],
+    "perf": ["primitives"],
+}

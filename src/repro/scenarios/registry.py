@@ -1,0 +1,42 @@
+"""The scenario registry: name -> :class:`~repro.scenarios.base.Scenario`.
+
+Scenarios are registered at import time by :mod:`repro.scenarios.catalog`
+(one :func:`register` call per paper experiment).  Names are unique,
+kebab-case, and double as the artifact basename: scenario ``foo`` exports
+``BENCH_foo.json``.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import Scenario, ScenarioError
+
+__all__ = ["register", "get_scenario", "scenario_names", "all_scenarios"]
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add ``scenario`` to the registry; duplicate names are a bug."""
+    if scenario.name in _REGISTRY:
+        raise ScenarioError(f"duplicate scenario name {scenario.name!r}")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name, with a helpful error on typos."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none registered>"
+        raise ScenarioError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+
+
+def scenario_names() -> list[str]:
+    """All registered names, in registration (paper) order."""
+    return list(_REGISTRY)
+
+
+def all_scenarios() -> list[Scenario]:
+    """All registered scenarios, in registration (paper) order."""
+    return list(_REGISTRY.values())

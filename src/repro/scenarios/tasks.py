@@ -1,0 +1,543 @@
+"""Module-level scenario workers (picklable for the process pool).
+
+Every function here is one :class:`~repro.analysis.runner.BatchTask` body:
+it generates its instance, runs one algorithm, verifies the output, and
+returns a metric mapping.  The bodies are ports of the former standalone
+``benchmarks/bench_*.py`` scripts — the scripts are now thin shims and the
+single source of truth for "how experiment X is measured" lives here.
+
+Conventions:
+
+* ``seed`` is injected by :meth:`ExperimentRunner.run_batch` (derived from
+  the batch ``base_seed`` and the task index) for every randomized
+  generator; deterministic constructions take no seed.
+* ``profile`` wires a :class:`~repro.scenarios.base.StageProfile` through
+  the generate / freeze / solve / verify pipeline; the resulting
+  ``stage_seconds`` land in the artifact so perf PRs can see where time
+  goes.
+* Graphs are frozen at the construction/computation boundary wherever the
+  downstream driver runs on the CSR fast paths (Theorem 1.3 and friends);
+  drivers that still operate on the mutable representation get the graph
+  as built and report a zero ``freeze`` stage.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any
+
+from repro.coloring import (
+    degeneracy_greedy_coloring,
+    random_lists,
+    uniform_lists,
+    verify_coloring,
+    verify_list_coloring,
+)
+from repro.coloring.assignment import ListAssignment
+from repro.coloring.greedy import greedy_list_coloring
+from repro.core import (
+    brooks_list_coloring,
+    classify_vertices,
+    color_bounded_arboricity_graph,
+    color_embedded_graph,
+    color_high_girth_planar_graph,
+    color_planar_graph,
+    color_sparse_graph,
+    color_triangle_free_planar_graph,
+    genus_color_budget,
+    nice_list_coloring,
+    peel_happy_layers,
+)
+from repro.core.extension import extend_coloring_to_happy_set
+from repro.distributed import (
+    barenboim_elkin_coloring,
+    color_rooted_forest,
+    delta_plus_one_coloring,
+    gps_coloring,
+    greedy_distributed_coloring,
+    ruling_forest,
+)
+from repro.graphs.generators import classic, planar, sparse, surfaces
+from repro.graphs.properties.cliques import is_clique
+from repro.graphs.properties.degeneracy import (
+    _degeneracy_ordering_sets,
+    degeneracy_ordering,
+)
+from repro.local.ball_collection import collect_balls
+from repro.lowerbounds import (
+    bipartite_grid_lower_bound,
+    log_star_floor,
+    path_two_coloring_lower_bound,
+    planar_four_coloring_lower_bound,
+    triangle_free_lower_bound,
+)
+from repro.scenarios.base import StageProfile
+
+
+# ---------------------------------------------------------------------------
+# E1 — Theorem 1.3, colors
+# ---------------------------------------------------------------------------
+
+def theorem13_colors(
+    n: int, d: int, variant: str, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """d-list-color a bounded-mad graph; ``variant``: uniform/random/greedy."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = sparse.random_degenerate_graph(n, d // 2, seed=seed)
+    if variant == "greedy":
+        with prof("solve"):
+            coloring = degeneracy_greedy_coloring(graph)
+        return {
+            "colors": len(set(coloring.values())), "budget": d,
+            "rounds": 0, "valid": True, **prof.metrics(),
+        }
+    with prof("freeze"):
+        frozen = graph.freeze()
+    with prof("solve"):
+        if variant == "uniform":
+            lists = uniform_lists(frozen, d)
+        elif variant == "random":
+            lists = random_lists(frozen, d, palette_size=2 * d, seed=seed)
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+        result = color_sparse_graph(frozen, d=d, lists=lists)
+    with prof("verify"):
+        verify_list_coloring(frozen, result.coloring, lists)
+    return {
+        "colors": result.colors_used(), "budget": d,
+        "rounds": result.rounds, "valid": True, **prof.metrics(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E2 — Theorem 1.3, rounds
+# ---------------------------------------------------------------------------
+
+def theorem13_rounds(
+    n: int, d: int, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """Charged rounds of the Theorem 1.3 driver on a union of forests."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = sparse.union_of_random_forests(n, 2, seed=seed)
+    with prof("freeze"):
+        frozen = graph.freeze()
+    with prof("solve"):
+        result = color_sparse_graph(frozen, d=d)
+    with prof("verify"):
+        assert result.succeeded
+    return {
+        "n": n,
+        "rounds": result.rounds,
+        "layers": result.peeling.number_of_layers,
+        "rounds/log^3": result.rounds / (max(2, n).bit_length() ** 3),
+        **prof.metrics(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E5 — Corollary 1.4 vs Barenboim–Elkin
+# ---------------------------------------------------------------------------
+
+def corollary14_arboricity(
+    n: int, arboricity: int, algorithm: str, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """Color a union of ``arboricity`` forests; ``algorithm``: ours/barenboim-elkin."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = sparse.union_of_random_forests(n, arboricity, seed=seed)
+    if algorithm == "ours":
+        with prof("freeze"):
+            frozen = graph.freeze()
+        with prof("solve"):
+            result = color_bounded_arboricity_graph(frozen, arboricity=arboricity)
+        with prof("verify"):
+            verify_coloring(frozen, result.coloring)
+        return {
+            "colors": result.colors_used(), "palette": 2 * arboricity,
+            "rounds": result.rounds, **prof.metrics(),
+        }
+    if algorithm == "barenboim-elkin":
+        with prof("solve"):
+            result = barenboim_elkin_coloring(graph, arboricity=arboricity, epsilon=1.0)
+        with prof("verify"):
+            verify_coloring(graph, result.coloring)
+        return {
+            "colors": result.colors_used, "palette": result.palette_size,
+            "rounds": result.rounds, **prof.metrics(),
+        }
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+# ---------------------------------------------------------------------------
+# E7 — Corollary 2.1 (Brooks) and Theorem 6.1 (nice lists)
+# ---------------------------------------------------------------------------
+
+def _nice_lists_for(graph) -> ListAssignment:
+    """Theorem 6.1 "nice" assignment: deg(v) colors except where deg+1 is forced."""
+    lists = {}
+    for v in graph:
+        degree = graph.degree(v)
+        size = (
+            degree + 1
+            if degree <= 2 or is_clique(graph, graph.neighbors(v))
+            else degree
+        )
+        lists[v] = frozenset(range(1, size + 1))
+    return ListAssignment(lists)
+
+
+def corollary21_brooks(
+    n: int, degree: int, variant: str, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """Δ-list-color a random regular graph; ``variant``: brooks/greedy/nice."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        if n * degree % 2:
+            n += 1
+        graph = classic.random_regular_graph(n, degree, seed=seed)
+    if variant == "brooks":
+        with prof("solve"):
+            result = brooks_list_coloring(graph)
+        with prof("verify"):
+            verify_list_coloring(graph, result.coloring, uniform_lists(graph, degree))
+        return {
+            "colors": result.colors_used(), "budget": degree,
+            "rounds": result.rounds, **prof.metrics(),
+        }
+    if variant == "greedy":
+        with prof("solve"):
+            result = greedy_distributed_coloring(graph)
+        return {
+            "colors": len(set(result.coloring.values())), "budget": degree + 1,
+            "rounds": result.rounds, **prof.metrics(),
+        }
+    if variant == "nice":
+        with prof("solve"):
+            lists = _nice_lists_for(graph)
+            result = nice_list_coloring(graph, lists)
+        with prof("verify"):
+            verify_list_coloring(graph, result.coloring, lists)
+        return {
+            "colors": len(set(result.coloring.values())), "budget": degree,
+            "rounds": result.rounds, **prof.metrics(),
+        }
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+# ---------------------------------------------------------------------------
+# E6 — Corollary 2.3 on planar families vs GPS
+# ---------------------------------------------------------------------------
+
+def corollary23_planar(
+    family: str, n: int, algorithm: str, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """Color one planar family; ``algorithm``: cor23 (ours) or gps (baseline)."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        if family == "triangulation":
+            graph = planar.stacked_triangulation(n, seed=seed)
+        elif family == "triangle-free":
+            graph = planar.triangle_free_planar(n, seed=seed)
+        elif family == "high-girth":
+            graph = planar.high_girth_planar(n, seed=seed)
+        else:
+            raise ValueError(f"unknown family {family!r}")
+    with prof("solve"):
+        if algorithm == "gps":
+            result = gps_coloring(graph, degree_threshold=6)
+            colors, budget, rounds = result.colors_used, 7, result.rounds
+        elif family == "triangulation":
+            result = color_planar_graph(graph)
+            colors, budget, rounds = result.colors_used(), 6, result.rounds
+        elif family == "triangle-free":
+            result = color_triangle_free_planar_graph(graph)
+            colors, budget, rounds = result.colors_used(), 4, result.rounds
+        else:
+            result = color_high_girth_planar_graph(graph)
+            colors, budget, rounds = result.colors_used(), 3, result.rounds
+    with prof("verify"):
+        verify_coloring(graph, result.coloring)
+    return {"colors": colors, "budget": budget, "rounds": rounds, **prof.metrics()}
+
+
+# ---------------------------------------------------------------------------
+# E8 — Corollary 2.11 on toroidal triangulations
+# ---------------------------------------------------------------------------
+
+def corollary211_genus(
+    k: int, length: int, improved: bool, profile: bool = False
+) -> dict[str, Any]:
+    """H(g)/H(g)-1 list-coloring of a toroidal triangular grid (genus 2)."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = surfaces.toroidal_triangular_grid(k, length)
+    with prof("solve"):
+        result = color_embedded_graph(graph, euler_genus=2, improved=improved)
+    with prof("verify"):
+        verify_coloring(graph, result.coloring)
+    return {
+        "colors": result.colors_used(),
+        "budget": genus_color_budget(2, improved=improved),
+        "rounds": result.rounds,
+        **prof.metrics(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E3 — Lemma 3.1, happy fraction and peeling layers
+# ---------------------------------------------------------------------------
+
+def _lemma_family_graph(family: str, n: int, seed: int | None):
+    if family == "forest-union":
+        return sparse.union_of_random_forests(n, 2, seed=seed)
+    if family == "planar":
+        return planar.stacked_triangulation(n, seed=seed)
+    if family == "regular":
+        return classic.random_regular_graph(n, 4, seed=seed)
+    raise ValueError(f"unknown family {family!r}")
+
+
+def lemma31_happy_fraction(
+    family: str, n: int, d: int, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """Measure |A|/n of the first layer and the total number of peeling layers."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = _lemma_family_graph(family, n, seed)
+    with prof("freeze"):
+        frozen = graph.freeze()
+    with prof("solve"):
+        cls = classify_vertices(frozen, d=d)
+        peeling = peel_happy_layers(frozen, d=d)
+    fraction = len(cls.happy) / frozen.number_of_vertices()
+    bound = 1 / (3 * d) ** 3
+    no_poor_bound = 1 / (12 * d + 1) if not cls.poor else None
+    return {
+        "happy_fraction": round(fraction, 3),
+        "paper_bound": round(bound, 5),
+        "no_poor_bound": round(no_poor_bound, 4) if no_poor_bound else "-",
+        "layers": peeling.number_of_layers,
+        "poor": len(cls.poor),
+        **prof.metrics(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E4 — Lemma 3.2, one extension step
+# ---------------------------------------------------------------------------
+
+def lemma32_extension(
+    family: str, n: int, d: int, radius: int, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """Extend a coloring of G - A to G; report the proof's quantities."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = _lemma_family_graph(family, n, seed)
+    with prof("solve"):
+        lists = uniform_lists(graph, d)
+        cls = classify_vertices(graph, d=d, radius=radius)
+        rest = [v for v in graph if v not in cls.happy]
+        sub = graph.subgraph(rest)
+        _, order = degeneracy_ordering(sub)
+        base = greedy_list_coloring(sub, lists.restrict(rest), list(reversed(order)))
+        coloring, report = extend_coloring_to_happy_set(
+            graph, lists, happy=cls.happy, rich=cls.rich, coloring=base,
+            radius=radius, d=d,
+        )
+    with prof("verify"):
+        verify_list_coloring(graph, coloring, lists)
+    return {
+        "happy": len(cls.happy),
+        "roots": report.roots,
+        "tree_vertices": report.tree_vertices,
+        "recolored_sad": report.recolored_sad_vertices,
+        "rounds": report.rounds,
+        **prof.metrics(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E9 — Theorem 1.5 (Fisk-style planar 4-coloring lower bound)
+# ---------------------------------------------------------------------------
+
+def lowerbound_fisk(n: int, rounds: int, profile: bool = False) -> dict[str, Any]:
+    """Certify the Omega(n) obstruction to 4-coloring planar graphs."""
+    prof = StageProfile(profile)
+    with prof("solve"):
+        result = planar_four_coloring_lower_bound(n, rounds=rounds)
+    cert = result.certificate
+    return {
+        "obstruction_n": cert.obstruction_vertices,
+        "certified_rounds": cert.rounds,
+        "colors_ruled_out": cert.colors,
+        "chi_obstruction": cert.obstruction_chromatic_lower_bound,
+        "rounds/n": round(cert.rounds / n, 3),
+        **prof.metrics(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E10 — Theorems 2.5 / 2.6 (Klein-bottle grid lower bounds)
+# ---------------------------------------------------------------------------
+
+def lowerbound_triangle_free(length: int, rounds: int, profile: bool = False) -> dict[str, Any]:
+    """Certify the Omega(n) obstruction to 3-coloring triangle-free planar graphs."""
+    prof = StageProfile(profile)
+    with prof("solve"):
+        result = triangle_free_lower_bound(length, rounds=rounds)
+    cert = result.certificate
+    return {
+        "obstruction_n": cert.obstruction_vertices,
+        "certified_rounds": cert.rounds,
+        "colors_ruled_out": cert.colors,
+        "target": "triangle-free planar",
+        **prof.metrics(),
+    }
+
+
+def lowerbound_bipartite_grid(k: int, rounds: int, profile: bool = False) -> dict[str, Any]:
+    """Certify the Omega(sqrt(n)) obstruction to 3-coloring planar bipartite graphs."""
+    prof = StageProfile(profile)
+    with prof("solve"):
+        result = bipartite_grid_lower_bound(k, rounds=rounds)
+    cert = result.certificate
+    return {
+        "obstruction_n": cert.obstruction_vertices,
+        "certified_rounds": cert.rounds,
+        "colors_ruled_out": cert.colors,
+        "target": "planar bipartite (grid)",
+        **prof.metrics(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# E11/E12/E13 — distributed primitives and the CSR speedup tracker
+# ---------------------------------------------------------------------------
+
+def _bfs_parents(graph, root):
+    parents = {root: None}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for w in graph.neighbors(u):
+            if w not in parents:
+                parents[w] = u
+                queue.append(w)
+    return parents
+
+
+def primitives_cole_vishkin(n: int, profile: bool = False) -> dict[str, Any]:
+    """3-color a rooted path with Cole–Vishkin; rounds grow like log* n."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = classic.path(n)
+    with prof("solve"):
+        result = color_rooted_forest(graph, _bfs_parents(graph, 0))
+    return {
+        "rounds": result.rounds,
+        "colors": len(set(result.outputs.values())),
+        "log_star_n": log_star_floor(n),
+        **prof.metrics(),
+    }
+
+
+def primitives_delta_plus_one(
+    n: int, degree: int, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """(Δ+1)-color a random regular graph with Linial + color reduction."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = classic.random_regular_graph(n, degree, seed=seed)
+    with prof("solve"):
+        result = delta_plus_one_coloring(graph)
+    return {
+        "rounds": result.rounds,
+        "colors": len(set(result.coloring.values())),
+        "log_star_n": log_star_floor(len(graph)),
+        **prof.metrics(),
+    }
+
+
+def primitives_ruling_forest(n: int, alpha: int, profile: bool = False) -> dict[str, Any]:
+    """Build the (alpha, alpha log n)-ruling forest on a grid."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = classic.grid_2d(n // 10, 10)
+    with prof("solve"):
+        forest = ruling_forest(graph, set(graph.vertices()), alpha=alpha)
+    return {
+        "rounds": forest.rounds,
+        "colors": len(forest.roots),
+        "log_star_n": forest.beta,
+        **prof.metrics(),
+    }
+
+
+def primitives_path_lower_bound(n: int, rounds: int, profile: bool = False) -> dict[str, Any]:
+    """Observation 2.4 certificate: 2-coloring a path needs Omega(n) rounds."""
+    prof = StageProfile(profile)
+    with prof("solve"):
+        result = path_two_coloring_lower_bound(n, rounds=rounds)
+    return {
+        "rounds": result.certificate.rounds, "colors": 2, "log_star_n": 0,
+        **prof.metrics(),
+    }
+
+
+def primitives_degeneracy(
+    n: int, arboricity: int, backend: str, seed: int | None = None, profile: bool = False
+) -> dict[str, Any]:
+    """Time one degeneracy-ordering computation on the dict or CSR backend.
+
+    The CSR timing is taken on a pre-frozen graph; the one-time freeze cost
+    is reported separately (``freeze_seconds``) because it is paid once per
+    graph and amortized over every primitive running on the frozen view.
+    """
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = sparse.union_of_random_forests(n, arboricity, seed=seed)
+    metrics: dict[str, Any] = {"n": n, "m": graph.number_of_edges()}
+    if backend == "dict":
+        with prof("solve"):
+            start = time.perf_counter()
+            value = _degeneracy_ordering_sets(graph)[0]
+            metrics["compute_seconds"] = time.perf_counter() - start
+    else:
+        with prof("freeze"):
+            start = time.perf_counter()
+            frozen = graph.freeze()
+            metrics["freeze_seconds"] = time.perf_counter() - start
+        with prof("solve"):
+            start = time.perf_counter()
+            value = frozen.degeneracy_ordering()[0]
+            metrics["compute_seconds"] = time.perf_counter() - start
+    metrics["degeneracy"] = value
+    metrics.update(prof.metrics())
+    return metrics
+
+
+def primitives_balls(
+    n: int, arboricity: int, radius: int, backend: str,
+    seed: int | None = None, profile: bool = False,
+) -> dict[str, Any]:
+    """Time one all-vertices ball collection on the dict or CSR backend."""
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = sparse.union_of_random_forests(n, arboricity, seed=seed)
+    if backend != "dict":
+        with prof("freeze"):
+            graph = graph.freeze()
+    with prof("solve"):
+        start = time.perf_counter()
+        balls = collect_balls(graph, radius)
+        elapsed = time.perf_counter() - start
+    return {
+        "n": n,
+        "radius": radius,
+        "total_ball_members": sum(len(b) for b in balls.values()),
+        "compute_seconds": elapsed,
+        **prof.metrics(),
+    }

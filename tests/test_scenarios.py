@@ -1,0 +1,201 @@
+"""Tests for the scenario registry, the CLI and the artifact schema.
+
+Every registered scenario must instantiate, run its smoke grid inline
+(workers=1) to a schema-valid ``BENCH_<name>.json`` artifact, and keep its
+name unique and aligned with the artifact filename — the contract the
+``python -m repro`` CLI and the CI smoke job rely on.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.scenarios import (
+    CAMPAIGNS,
+    ScenarioError,
+    all_scenarios,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    validate_artifact,
+)
+
+NAMES = scenario_names()
+
+
+def test_registry_has_all_paper_experiments():
+    assert len(NAMES) >= 11
+    # the two headline scenarios the README quickstart points at
+    assert "theorem13-colors" in NAMES
+    assert "primitives" in NAMES
+
+
+def test_scenario_names_unique_and_kebab_case():
+    assert len(NAMES) == len(set(NAMES))
+    for name in NAMES:
+        assert re.fullmatch(r"[a-z0-9]+(-[a-z0-9]+)*", name), name
+
+
+def test_artifact_filenames_match_scenario_names(tmp_path):
+    for scenario in all_scenarios():
+        assert scenario.artifact_path().name == f"BENCH_{scenario.name}.json"
+        assert scenario.artifact_path(tmp_path).name == f"BENCH_{scenario.name}.json"
+
+
+def test_campaigns_reference_registered_scenarios():
+    assert set(CAMPAIGNS["all"]) == set(NAMES)
+    for campaign, members in CAMPAIGNS.items():
+        assert members, campaign
+        assert set(members) <= set(NAMES), campaign
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_scenario_smoke_runs_inline_to_valid_artifact(name, tmp_path):
+    run = run_scenario(name, smoke=True, workers=1, out=tmp_path)
+    assert run.ok and run.failures == []
+    assert run.path == tmp_path / f"BENCH_{name}.json"
+    artifact = json.loads(run.path.read_text())
+    assert validate_artifact(artifact, expected_name=name) == []
+    assert artifact["metadata"]["scenario"]["paper_ref"] == get_scenario(name).paper_ref
+    assert len(artifact["rows"]) == len(run.runner.rows)
+
+
+def test_smoke_run_is_deterministic(tmp_path):
+    """Same base seed => bit-identical metrics, regardless of wall times."""
+    runs = [
+        run_scenario("theorem13-colors", smoke=True, workers=1, seed=3,
+                     out=tmp_path / str(i))
+        for i in range(2)
+    ]
+    metrics = [[row.metrics for row in run.runner.rows] for run in runs]
+    assert metrics[0] == metrics[1]
+
+
+def test_profile_records_stage_seconds(tmp_path):
+    run = run_scenario("theorem13-colors", smoke=True, workers=1, profile=True,
+                       out=tmp_path)
+    artifact = json.loads(run.path.read_text())
+    assert validate_artifact(artifact, expected_name="theorem13-colors", profile=True) == []
+    stages = artifact["rows"][0]["metrics"]["stage_seconds"]
+    assert set(stages) == {"generate", "freeze", "solve", "verify"}
+    assert all(isinstance(v, float) for v in stages.values())
+
+
+def test_artifact_out_directory_need_not_exist(tmp_path):
+    """`--out artifacts/` must mean a directory even before it exists."""
+    run = run_scenario(
+        "lowerbound-fisk", smoke=True, workers=1, out=tmp_path / "artifacts"
+    )
+    assert run.path == tmp_path / "artifacts" / "BENCH_lowerbound-fisk.json"
+    assert run.path.exists()
+    explicit = run_scenario(
+        "lowerbound-fisk", smoke=True, workers=1,
+        out=tmp_path / "custom-name.json",
+    )
+    assert explicit.path == tmp_path / "custom-name.json"
+
+
+def test_cli_n_rejects_shape_mismatches(tmp_path, capsys):
+    # (k, l)-pair grid: no --n mapping, must point at --set (not a traceback)
+    assert cli_main(["run", "corollary211-genus", "--smoke", "--n", "36"]) == 2
+    assert "--set" in capsys.readouterr().err
+    # scalar size param: multiple values must not be silently dropped
+    assert cli_main(["run", "corollary23-planar", "--smoke", "--n", "100,200"]) == 2
+    assert "single value" in capsys.readouterr().err
+    # non-integer values
+    assert cli_main(["run", "theorem13-colors", "--smoke", "--n", "abc"]) == 2
+    assert "comma-separated" in capsys.readouterr().err
+
+
+def test_unknown_scenario_and_unknown_override_raise():
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        get_scenario("no-such-scenario")
+    with pytest.raises(ScenarioError, match="no parameter"):
+        run_scenario("theorem13-colors", overrides={"bogus": 1}, workers=1, export=False)
+
+
+def test_validate_artifact_flags_broken_shapes():
+    assert validate_artifact([]) != []
+    assert any("schema_version" in p for p in validate_artifact({}))
+    good = run_scenario("lowerbound-fisk", smoke=True, workers=1, export=False)
+    artifact = good.runner.to_json_dict()
+    assert validate_artifact(artifact, expected_name="lowerbound-fisk") == []
+    broken = dict(artifact, rows=[{"instance": 1}])
+    assert any("rows[0]" in p for p in validate_artifact(broken))
+    assert any("!= expected" in p for p in validate_artifact(artifact, expected_name="other"))
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in NAMES:
+        assert name in out
+
+
+def test_cli_list_json(capsys):
+    assert cli_main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [s["name"] for s in payload["scenarios"]] == NAMES
+    assert payload["campaigns"]["all"] == NAMES
+
+
+def test_cli_run_smoke_writes_artifact(tmp_path, capsys):
+    code = cli_main([
+        "run", "theorem13-colors", "--smoke", "--workers", "1",
+        "--out", str(tmp_path), "--profile",
+    ])
+    assert code == 0
+    artifact = json.loads((tmp_path / "BENCH_theorem13-colors.json").read_text())
+    assert validate_artifact(artifact, expected_name="theorem13-colors", profile=True) == []
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_cli_run_unknown_scenario_errors(capsys):
+    assert cli_main(["run", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_cli_campaign_smoke(tmp_path, capsys):
+    code = cli_main([
+        "campaign", "lowerbounds", "--smoke", "--workers", "1", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    merged = json.loads((tmp_path / "BENCH_campaign_lowerbounds.json").read_text())
+    assert set(merged["scenarios"]) == {"lowerbound-fisk", "lowerbound-grids"}
+    for name in merged["scenarios"]:
+        assert (tmp_path / f"BENCH_{name}.json").exists()
+        assert validate_artifact(merged["scenarios"][name], expected_name=name) == []
+    summary = {entry["scenario"]: entry for entry in merged["summary"]}
+    assert all(entry["check_failures"] == [] for entry in summary.values())
+
+
+def test_cli_campaign_only_filter(tmp_path):
+    assert cli_main([
+        "campaign", "lowerbounds", "--smoke", "--workers", "1",
+        "--out", str(tmp_path), "--only", "lowerbound-fisk",
+    ]) == 0
+    assert (tmp_path / "BENCH_lowerbound-fisk.json").exists()
+    assert not (tmp_path / "BENCH_lowerbound-grids.json").exists()
+
+
+def test_benchmark_shims_delegate_to_registry():
+    """The old bench_* entry points still work, now as registry shims."""
+    import importlib
+    import sys
+    from pathlib import Path
+
+    bench_dir = str(Path(__file__).resolve().parent.parent / "benchmarks")
+    sys.path.insert(0, bench_dir)
+    try:
+        module = importlib.import_module("bench_lowerbound_fisk")
+        runner = module.build_table(cases=((29, 3),))
+        assert runner.name == "lowerbound-fisk"
+        assert runner.rows and runner.rows[0].metrics["colors_ruled_out"] == 4
+    finally:
+        sys.path.remove(bench_dir)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Trivial markdown link checker for the repo docs (no dependencies).
+
+Scans the given markdown files for inline links/images
+(``[text](target)``), resolves each *relative* target against the file's
+directory, and fails if the target doesn't exist.  ``http(s)://`` and
+``mailto:`` targets are skipped (no network in CI); ``#anchor`` suffixes
+are stripped before the existence check and bare in-page anchors are
+accepted as-is.
+
+Usage::
+
+    python tools/check_docs_links.py README.md PAPER.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — doesn't try to handle nested parens or reference links;
+# the repo's docs don't use them.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK.findall(line):
+            if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_docs_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    checked = 0
+    for arg in argv:
+        path = Path(arg)
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        checked += 1
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {checked} file(s): {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
