@@ -1,0 +1,41 @@
+"""E14 — LOCAL round engine throughput: now the `simulator` scenario.
+
+Times the synchronous round engine's three data planes — the dict-routed
+seed engine, the flat-array per-node engine and the vectorized batched
+protocol — on Cole–Vishkin (rooted path) and the greedy baseline (ring),
+checking cross-engine round/message parity on every instance.  Run it
+with::
+
+    PYTHONPATH=src python -m repro run simulator [--repeat 3]
+
+Executing this file exports the repository-root ``BENCH_simulator.json``
+perf-trajectory artifact, exactly like the CLI invocation above.  Diff two
+artifacts (e.g. across PRs) with ``python tools/bench_diff.py``.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "simulator"
+
+
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
+
+
+def export_artifact(path: str | None = None) -> Path:
+    """Run the scenario and write ``BENCH_simulator.json`` (repo root by default)."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+    run = run_scenario(SCENARIO, workers=1, out=path)
+    run.runner.print_table()
+    return run.path
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(["run", SCENARIO]))

@@ -96,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact path or directory (default BENCH_<scenario>.json)")
     p_run.add_argument("--profile", action="store_true",
                        help="record per-stage wall time (generate/freeze/solve/verify)")
+    p_run.add_argument("--repeat", type=int, default=1, metavar="K",
+                       help="run the batch K times, report median-of-K wall times "
+                            "(stabilizes BENCH artifacts for tools/bench_diff.py)")
     p_run.add_argument("--set", dest="overrides", metavar="KEY=VALUE",
                        action="append", default=[],
                        help="override any scenario parameter (repeatable)")
@@ -168,6 +171,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profile=args.profile,
         out=args.out,
         strict=False,
+        repeat=args.repeat,
     )
     if not args.quiet:
         run.runner.print_table()

@@ -29,6 +29,7 @@ from repro.distributed.barenboim_elkin import (
     barenboim_elkin_coloring,
 )
 from repro.distributed.cole_vishkin import (
+    BatchColeVishkinForestColoring,
     ColeVishkinForestColoring,
     cole_vishkin_iterations,
     color_rooted_forest,
@@ -40,6 +41,7 @@ from repro.distributed.forest_decomposition import (
 )
 from repro.distributed.gps import GPSResult, gps_coloring, peel_low_degree_layers
 from repro.distributed.greedy_baseline import (
+    BatchGreedyLocalMaximaAlgorithm,
     GreedyLocalMaximaAlgorithm,
     greedy_distributed_coloring,
 )
@@ -55,6 +57,7 @@ from repro.distributed.ruling import RulingForest, ruling_forest, ruling_set
 __all__ = [
     "BarenboimElkinResult",
     "barenboim_elkin_coloring",
+    "BatchColeVishkinForestColoring",
     "ColeVishkinForestColoring",
     "cole_vishkin_iterations",
     "color_rooted_forest",
@@ -64,6 +67,7 @@ __all__ = [
     "GPSResult",
     "gps_coloring",
     "peel_low_degree_layers",
+    "BatchGreedyLocalMaximaAlgorithm",
     "GreedyLocalMaximaAlgorithm",
     "greedy_distributed_coloring",
     "ColorReductionAlgorithm",

@@ -16,12 +16,20 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.graphs.graph import Graph, Vertex
-from repro.local.node import NodeAlgorithm, NodeContext
+from repro.graphs.frozen import GraphLike, freeze
+from repro.graphs.graph import Vertex
+from repro.local.node import (
+    BatchContext,
+    BatchNodeAlgorithm,
+    NodeAlgorithm,
+    NodeContext,
+    segment_reduce,
+)
 from repro.local.simulator import SimulationResult, run_node_algorithm
 
 __all__ = [
     "ColeVishkinForestColoring",
+    "BatchColeVishkinForestColoring",
     "color_rooted_forest",
     "cole_vishkin_iterations",
 ]
@@ -159,8 +167,111 @@ class ColeVishkinForestColoring(NodeAlgorithm):
         return self.color
 
 
+class BatchColeVishkinForestColoring(BatchNodeAlgorithm):
+    """Batched port of :class:`ColeVishkinForestColoring`.
+
+    One instance drives all nodes over the routing fabric, replaying the
+    exact per-node phase machine (discover, ``T`` Cole–Vishkin iterations,
+    three shift-down + recolor pairs) with one numpy array operation per
+    step, so rounds, message counts and outputs are bit-identical to the
+    per-node run — the parity tests assert this.  Every round broadcasts one
+    integer per directed edge slot, exactly like the per-node protocol.
+    """
+
+    fallback = ColeVishkinForestColoring
+
+    def initialize_batch(self, context: BatchContext) -> None:
+        import numpy as np
+
+        super().initialize_batch(context)
+        n = context.n
+        self._np = np
+        self._src = context.sources
+        self.colors = context.identifiers.copy()
+        # 0 encodes "root" (identifiers start at 1)
+        self.parent_ids = np.array(
+            [0 if p is None else int(p) for p in context.inputs], dtype=np.int64
+        )
+        self.parent_slot = np.full(n, -1, dtype=np.int64)
+        self.cv_iterations = cole_vishkin_iterations(n)
+        self.phase = "discover"
+        self.cv_done = 0
+        self.reduction_target = 5
+        self.reduction_stage = "shift"
+        self.done = n == 0
+        # used-color mask (3 bits) -> smallest free color in {0, 1, 2}
+        self._free_color = np.array([0, 1, 0, 2, 0, 1, 0, 0], dtype=np.int64)
+
+    def send_batch(self, round_number: int):
+        if self.phase == "discover":
+            return self.context.identifiers[self._src]
+        return self.colors[self._src]
+
+    def _parent_colors(self, inbox):
+        """Per-node parent color; roots pretend bit 0 of their own differs."""
+        np = self._np
+        pretend = self.colors ^ 1
+        if inbox.size == 0:  # edgeless network: everyone is a root
+            return pretend
+        has_parent = self.parent_slot >= 0
+        return np.where(
+            has_parent, inbox[np.maximum(self.parent_slot, 0)], pretend
+        )
+
+    def receive_batch(self, round_number: int, inbox, delivered) -> None:
+        np = self._np
+        if self.phase == "discover":
+            hits = np.flatnonzero(inbox == self.parent_ids[self._src])
+            self.parent_slot[self._src[hits]] = hits
+            self.phase = "cv"
+            return
+
+        if self.phase == "cv":
+            parent = self._parent_colors(inbox)
+            diff = self.colors ^ parent
+            low = diff & -diff  # diff >= 1: the coloring stays proper
+            index = np.log2(low.astype(np.float64)).astype(np.int64)
+            self.colors = 2 * index + ((self.colors >> index) & 1)
+            self.cv_done += 1
+            if self.cv_done >= self.cv_iterations:
+                self.phase = "reduce"
+                self.reduction_stage = "shift"
+            return
+
+        # reduce phase, mirroring the per-node shift/recolor pair
+        if self.reduction_stage == "shift":
+            has_parent = self.parent_slot >= 0
+            rotated = np.where(self.colors < 3, (self.colors + 1) % 3, 0)
+            self.colors = np.where(
+                has_parent, self._parent_colors(inbox), rotated
+            )
+            self.reduction_stage = "recolor"
+            return
+        used = segment_reduce(
+            np.bitwise_or, 1 << inbox, self.context.offsets, empty=0
+        )
+        free = self._free_color[used & 7]
+        self.colors = np.where(
+            self.colors == self.reduction_target, free, self.colors
+        )
+        if self.reduction_target > 3:
+            self.reduction_target -= 1
+            self.reduction_stage = "shift"
+        else:
+            self.done = True
+            self.phase = "finished"
+
+    def is_finished_batch(self) -> bool:
+        return self.done
+
+    def results_batch(self) -> list[int]:
+        return [int(c) for c in self.colors]
+
+
 def color_rooted_forest(
-    graph: Graph, parents: dict[Vertex, Vertex | None]
+    graph: GraphLike,
+    parents: dict[Vertex, Vertex | None],
+    batched: bool = True,
 ) -> SimulationResult:
     """Run Cole–Vishkin on a forest given the parent pointer of every vertex.
 
@@ -168,18 +279,26 @@ def color_rooted_forest(
     forest must be consistent with ``graph`` (every non-root's parent is a
     neighbour).  Returns the simulation result; outputs are colors in
     ``{0, 1, 2}``.
+
+    ``batched=True`` (the default) runs the vectorized
+    :class:`BatchColeVishkinForestColoring` program, which produces the
+    same result and falls back to the per-node program when numpy is
+    unavailable; pass ``batched=False`` to force the per-node path.
     """
     from repro.local.network import Network
 
-    network = Network(graph)
+    network = Network(freeze(graph))
     inputs: dict[Vertex, int | None] = {}
     for v in graph:
         parent = parents.get(v)
         inputs[v] = None if parent is None else network.identifier_of[parent]
-    simulator_result = run_node_algorithm(
+    algorithm = (
+        BatchColeVishkinForestColoring if batched else ColeVishkinForestColoring
+    )
+    return run_node_algorithm(
         graph,
-        ColeVishkinForestColoring,
+        algorithm,
         inputs=inputs,
         max_rounds=10 * cole_vishkin_iterations(graph.number_of_vertices()) + 30,
+        network=network,
     )
-    return simulator_result

@@ -205,22 +205,32 @@ def delta_plus_one_coloring(
     Linial route used here costs ``O(log* n + Δ²)`` rounds, which is
     incomparable in general but simpler and fully message-passing).
     """
+    from repro.graphs.frozen import freeze
+    from repro.local.network import Network
+
     if graph.number_of_vertices() == 0:
         return DistributedColoringResult({}, 0, 0, 1)
-    delta = graph.max_degree() if max_degree is None else max_degree
+    frozen = freeze(graph)
+    # one network (and routing fabric) shared by both simulator passes
+    network = Network(frozen)
+    delta = frozen.max_degree() if max_degree is None else max_degree
     delta = max(1, delta)
     linial_run = run_node_algorithm(
-        graph, LinialColoringAlgorithm, inputs={v: delta for v in graph}
+        frozen,
+        LinialColoringAlgorithm,
+        inputs={v: delta for v in frozen},
+        network=network,
     )
     palette = max(p for (_c, p) in linial_run.outputs.values())
     reduction_inputs = {
         v: (color, palette, delta) for v, (color, _p) in linial_run.outputs.items()
     }
     reduction_run = run_node_algorithm(
-        graph,
+        frozen,
         ColorReductionAlgorithm,
         inputs=reduction_inputs,
         max_rounds=palette + 5,
+        network=network,
     )
     return DistributedColoringResult(
         coloring=dict(reduction_run.outputs),

@@ -226,6 +226,24 @@ class FrozenGraph:
         """Zero-copy slice of neighbour *indices* of the vertex at index ``i``."""
         return self._neighbors[int(self._offsets[i]) : int(self._offsets[i + 1])]
 
+    def csr_arrays(self):
+        """The raw CSR pair ``(offsets, neighbors)`` in backend-native form.
+
+        Zero-copy: numpy ``int64`` arrays on the numpy backend, plain lists
+        otherwise.  This is the read surface the LOCAL simulator's routing
+        fabric builds on — treat the arrays as immutable.
+        """
+        return self._offsets, self._neighbors
+
+    def csr_lists(self) -> tuple[list[int], list[int]]:
+        """Plain-list views of ``(offsets, neighbors)`` (cached, read-only).
+
+        Scalar indexing on lists is several times faster than on numpy
+        arrays, so sequential kernels (the simulator's per-node round loop,
+        the peel) should read these instead of :meth:`csr_arrays`.
+        """
+        return self._csr_lists()
+
     # ------------------------------------------------------------------
     # Basic queries (Graph-compatible)
     # ------------------------------------------------------------------

@@ -1,4 +1,11 @@
-"""LOCAL-model simulation: node programs, synchronous engine, round accounting."""
+"""LOCAL-model simulation: node programs, synchronous engine, round accounting.
+
+The round engine (:mod:`repro.local.simulator`) runs on flat integer arrays
+derived from the graph's CSR (:class:`~repro.local.network.RoutingFabric`);
+:class:`~repro.local.node.BatchNodeAlgorithm` opts a node program into the
+fully vectorized batched path.  The seed dict-routed engine survives in
+:mod:`repro.local.reference` for parity tests and A/B benchmarks.
+"""
 
 from repro.local.ball_collection import (
     BallCollectionAlgorithm,
@@ -6,8 +13,15 @@ from repro.local.ball_collection import (
     collect_balls_distributed,
 )
 from repro.local.ledger import LedgerEntry, RoundLedger
-from repro.local.network import Network
-from repro.local.node import NodeAlgorithm, NodeContext
+from repro.local.network import Network, RoutingFabric
+from repro.local.node import (
+    BatchContext,
+    BatchNodeAlgorithm,
+    NodeAlgorithm,
+    NodeContext,
+    segment_reduce,
+)
+from repro.local.reference import ReferenceSimulator, run_reference_algorithm
 from repro.local.simulator import (
     SimulationResult,
     SynchronousSimulator,
@@ -21,8 +35,14 @@ __all__ = [
     "LedgerEntry",
     "RoundLedger",
     "Network",
+    "RoutingFabric",
+    "BatchContext",
+    "BatchNodeAlgorithm",
     "NodeAlgorithm",
     "NodeContext",
+    "segment_reduce",
+    "ReferenceSimulator",
+    "run_reference_algorithm",
     "SimulationResult",
     "SynchronousSimulator",
     "run_node_algorithm",

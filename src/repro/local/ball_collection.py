@@ -71,14 +71,21 @@ class BallCollectionAlgorithm(NodeAlgorithm):
         return self.known_vertices, self.known_edges
 
 
-def collect_balls_distributed(graph: GraphLike, radius: int, strict: bool = False):
-    """Run :class:`BallCollectionAlgorithm` and return the simulation result."""
+def collect_balls_distributed(
+    graph: GraphLike, radius: int, strict: bool = False, network=None
+):
+    """Run :class:`BallCollectionAlgorithm` and return the simulation result.
+
+    ``network=`` reuses a prebuilt :class:`~repro.local.network.Network`
+    (and its routing fabric) across repeated collections on the same graph.
+    """
     return run_node_algorithm(
         graph,
         BallCollectionAlgorithm,
         inputs={v: radius for v in graph},
         max_rounds=radius + 1,
         strict=strict,
+        network=network,
     )
 
 

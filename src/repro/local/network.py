@@ -7,21 +7,152 @@ incident edges are numbered ``0..deg-1``), and records the mapping back to
 the original vertex labels so that simulation outputs can be reported in
 terms of the caller's vertices.
 
+Internally the port numbering is materialized once per graph as a
+:class:`RoutingFabric` — flat integer arrays over *directed edge slots*.
+Slot ``offsets[i] + p`` is port ``p`` of the node with index ``i``
+(identifier ``i + 1``); ``endpoints[slot]`` is the node index on the other
+side of that port, and ``reverse_slot[slot]`` is the slot of the same edge
+seen from the other endpoint.  Delivering a message sent by node ``i`` on
+port ``p`` is therefore a single array read — ``reverse_slot[offsets[i]+p]``
+names the receiver's inbox slot — instead of the two dict hops
+(``neighbor_on_port`` + ``port_towards``) of the dict-routed engine.
+
 For a frozen graph with the default identifier order, the port tables are
-read straight off the CSR arrays: identifiers follow the vertex indices and
+read zero-copy off the CSR arrays: identifiers follow the vertex indices and
 each CSR neighbour slice is already sorted by index, hence by identifier —
-no per-vertex sort is needed.
+no per-vertex sort is needed, and ``reverse_slot`` is computed with one
+vectorized ``searchsorted`` when numpy is available.
+
+The dict-based lookup API (:attr:`Network.ports`, :meth:`neighbor_on_port`,
+:meth:`port_towards`) is kept for callers and tests, derived lazily from the
+fabric.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Mapping
 from typing import Any
 
-from repro.graphs.frozen import FrozenGraph, GraphLike
+from repro.graphs.frozen import HAS_NUMPY, FrozenGraph, GraphLike
 from repro.graphs.graph import Vertex
 
-__all__ = ["Network"]
+if HAS_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
+__all__ = ["Network", "RoutingFabric"]
+
+
+class RoutingFabric:
+    """Flat-array routing tables of a port-numbered network.
+
+    All arrays are exposed twice: as plain Python lists (fast scalar access
+    for the per-node round loop) and — when numpy is available — as ``int64``
+    numpy arrays (the batched engine's data plane).  The list and array
+    views alias the same data where the backend allows (zero-copy off a
+    frozen graph's CSR cache).
+
+    Attributes
+    ----------
+    n:
+        Number of nodes; node ``i`` has identifier ``i + 1``.
+    num_slots:
+        Number of directed edge slots (``2m``).
+    offsets / offsets_np:
+        ``offsets[i] .. offsets[i+1]`` delimits node ``i``'s port slots.
+    endpoints / endpoints_np:
+        ``endpoints[slot]`` is the node index reached through that slot.
+    reverse_slot / reverse_np:
+        The same edge seen from the other side: an involution with
+        ``endpoints[reverse_slot[k]] == src(k)``.
+    degrees:
+        Per-node degree list (``offsets`` differences, precomputed).
+    """
+
+    __slots__ = (
+        "n", "num_slots", "offsets", "endpoints", "reverse_slot", "degrees",
+        "offsets_np", "endpoints_np", "reverse_np", "has_numpy", "_sources_np",
+    )
+
+    def __init__(
+        self,
+        offsets: list[int],
+        endpoints: list[int],
+        reverse_slot: list[int],
+        offsets_np=None,
+        endpoints_np=None,
+        reverse_np=None,
+        sources_np=None,
+    ) -> None:
+        self.n = len(offsets) - 1
+        self.num_slots = len(endpoints)
+        self.offsets = offsets
+        self.endpoints = endpoints
+        self.reverse_slot = reverse_slot
+        self.degrees = [offsets[i + 1] - offsets[i] for i in range(self.n)]
+        self.has_numpy = HAS_NUMPY
+        if HAS_NUMPY:
+            self.offsets_np = (
+                offsets_np if offsets_np is not None
+                else _np.asarray(offsets, dtype=_np.int64)
+            )
+            self.endpoints_np = (
+                endpoints_np if endpoints_np is not None
+                else _np.asarray(endpoints, dtype=_np.int64)
+            )
+            self.reverse_np = (
+                reverse_np if reverse_np is not None
+                else _np.asarray(reverse_slot, dtype=_np.int64)
+            )
+        else:  # pragma: no cover - exercised on numpy-less installs
+            self.offsets_np = self.endpoints_np = self.reverse_np = None
+        self._sources_np = sources_np
+
+    def sources_np(self):
+        """Per-slot source node index (``sources[offsets[i]+p] == i``), cached.
+
+        The natural companion of ``endpoints`` for batched programs
+        ("broadcast my value on every port" is ``values[sources]``).
+        Numpy backend only; ``None`` without numpy.
+        """
+        if self._sources_np is None and self.has_numpy:
+            self._sources_np = _np.repeat(
+                _np.arange(self.n, dtype=_np.int64), _np.diff(self.offsets_np)
+            )
+        return self._sources_np
+
+
+def _reverse_slots_python(offsets: list[int], endpoints: list[int]) -> list[int]:
+    """``reverse_slot`` by per-slot binary search in the sorted slices."""
+    n = len(offsets) - 1
+    reverse = [0] * len(endpoints)
+    for i in range(n):
+        for k in range(offsets[i], offsets[i + 1]):
+            j = endpoints[k]
+            reverse[k] = bisect_left(endpoints, i, offsets[j], offsets[j + 1])
+    return reverse
+
+
+def _fabric_from_csr(offsets_np, endpoints_np, lists: tuple[list[int], list[int]]) -> RoutingFabric:
+    """Fabric straight off CSR arrays (default identifier order, numpy backend)."""
+    offsets_list, endpoints_list = lists
+    n = len(offsets_list) - 1
+    if HAS_NUMPY and offsets_np is not None:
+        degrees = _np.diff(offsets_np)
+        src = _np.repeat(_np.arange(n, dtype=_np.int64), degrees)
+        # directed edges are CSR-ordered, i.e. sorted by (src, dst); the
+        # reverse of slot k is the position of key (dst, src) in that order
+        keys = src * n + endpoints_np
+        reverse_np = _np.searchsorted(keys, endpoints_np * n + src)
+        return RoutingFabric(
+            offsets_list, endpoints_list, reverse_np.tolist(),
+            offsets_np=offsets_np, endpoints_np=endpoints_np,
+            reverse_np=reverse_np, sources_np=src,
+        )
+    reverse = _reverse_slots_python(offsets_list, endpoints_list)
+    return RoutingFabric(offsets_list, endpoints_list, reverse)
 
 
 class Network:
@@ -29,47 +160,118 @@ class Network:
 
     def __init__(self, graph: GraphLike, identifier_order: list[Vertex] | None = None):
         self.graph = graph
-        vertices = identifier_order if identifier_order is not None else graph.vertices()
-        if set(vertices) != set(graph.vertices()):
-            raise ValueError("identifier_order must be a permutation of the vertices")
+        if identifier_order is None:
+            order = graph.vertices()
+        else:
+            order = list(identifier_order)
+            if set(order) != set(graph.vertices()):
+                raise ValueError("identifier_order must be a permutation of the vertices")
+        self._order: list[Vertex] = order
+        self._default_order = identifier_order is None
         self.identifier_of: dict[Vertex, int] = {
-            v: i + 1 for i, v in enumerate(vertices)
+            v: i + 1 for i, v in enumerate(order)
         }
         self.vertex_of: dict[int, Vertex] = {
-            i: v for v, i in self.identifier_of.items()
+            i + 1: v for i, v in enumerate(order)
         }
-        # port numbering: for each vertex, neighbours sorted by identifier
-        if identifier_order is None and isinstance(graph, FrozenGraph):
-            # CSR fast path: identifiers follow vertex indices, and each
-            # neighbour slice is sorted by index == sorted by identifier
-            self.ports: dict[Vertex, list[Vertex]] = {
-                v: graph.neighbors(v) for v in graph
+        self._fabric: RoutingFabric | None = None
+        self._ports: dict[Vertex, list[Vertex]] | None = None
+        self._port_of: dict[Vertex, dict[Vertex, int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Flat-array data plane
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> list[Vertex]:
+        """Vertex labels by node index (``labels[i]`` has identifier ``i+1``)."""
+        return self._order
+
+    @property
+    def fabric(self) -> RoutingFabric:
+        """The routing fabric, built once per network on first use."""
+        if self._fabric is None:
+            self._fabric = self._build_fabric()
+        return self._fabric
+
+    def _build_fabric(self) -> RoutingFabric:
+        graph = self.graph
+        if self._default_order and isinstance(graph, FrozenGraph):
+            # zero-copy fast path: identifiers follow the CSR vertex indices
+            # and each neighbour slice is already sorted by index
+            offsets, neighbors = graph.csr_arrays()
+            if not graph._use_numpy:
+                return _fabric_from_csr(None, None, (offsets, neighbors))
+            return _fabric_from_csr(offsets, neighbors, graph.csr_lists())
+        # general path: sort each neighbourhood by identifier
+        index = {v: i for i, v in enumerate(self._order)}
+        offsets_list = [0] * (len(self._order) + 1)
+        endpoints_list: list[int] = []
+        for i, v in enumerate(self._order):
+            endpoints_list.extend(sorted(index[u] for u in self.graph.neighbors(v)))
+            offsets_list[i + 1] = len(endpoints_list)
+        reverse = _reverse_slots_python(offsets_list, endpoints_list)
+        return RoutingFabric(offsets_list, endpoints_list, reverse)
+
+    # ------------------------------------------------------------------
+    # Dict-based lookup API (lazy views over the fabric)
+    # ------------------------------------------------------------------
+    @property
+    def ports(self) -> dict[Vertex, list[Vertex]]:
+        """Per-vertex neighbour labels in port order (lazy)."""
+        if self._ports is None:
+            fabric = self.fabric
+            order = self._order
+            self._ports = {
+                v: [
+                    order[fabric.endpoints[k]]
+                    for k in range(fabric.offsets[i], fabric.offsets[i + 1])
+                ]
+                for i, v in enumerate(order)
             }
-        else:
-            self.ports = {
-                v: sorted(graph.neighbors(v), key=lambda u: self.identifier_of[u])
-                for v in graph
+        return self._ports
+
+    @property
+    def port_of(self) -> dict[Vertex, dict[Vertex, int]]:
+        """Inverse port tables ``v -> {neighbor: port}`` (lazy)."""
+        if self._port_of is None:
+            self._port_of = {
+                v: {u: p for p, u in enumerate(nbrs)}
+                for v, nbrs in self.ports.items()
             }
-        self.port_of: dict[Vertex, dict[Vertex, int]] = {
-            v: {u: p for p, u in enumerate(nbrs)} for v, nbrs in self.ports.items()
-        }
+        return self._port_of
 
     @property
     def n(self) -> int:
-        return self.graph.number_of_vertices()
+        return len(self._order)
 
     def degree(self, v: Vertex) -> int:
-        return len(self.ports[v])
+        i = self.identifier_of[v] - 1
+        fabric = self.fabric
+        return fabric.offsets[i + 1] - fabric.offsets[i]
 
     def neighbor_on_port(self, v: Vertex, port: int) -> Vertex:
-        return self.ports[v][port]
+        i = self.identifier_of[v] - 1
+        fabric = self.fabric
+        base = fabric.offsets[i]
+        if not 0 <= port < fabric.offsets[i + 1] - base:
+            raise IndexError(f"vertex {v!r} has no port {port}")
+        return self._order[fabric.endpoints[base + port]]
 
     def port_towards(self, v: Vertex, neighbor: Vertex) -> int:
         return self.port_of[v][neighbor]
 
+    # ------------------------------------------------------------------
+    # Input translation
+    # ------------------------------------------------------------------
     def translate_inputs(
         self, inputs: Mapping[Vertex, Any] | None
     ) -> dict[Vertex, Any]:
         """Normalize per-vertex inputs (missing vertices get ``None``)."""
         inputs = dict(inputs or {})
         return {v: inputs.get(v) for v in self.graph}
+
+    def inputs_list(self, inputs: Mapping[Vertex, Any] | None) -> list[Any]:
+        """Per-node inputs by node index (missing vertices get ``None``)."""
+        if not inputs:
+            return [None] * len(self._order)
+        return [inputs.get(v) for v in self._order]

@@ -23,10 +23,17 @@ information must be learned by communication, exactly as in the model).
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, ClassVar
 
-__all__ = ["NodeContext", "NodeAlgorithm"]
+__all__ = [
+    "NodeContext",
+    "NodeAlgorithm",
+    "BatchContext",
+    "BatchNodeAlgorithm",
+    "segment_reduce",
+]
 
 
 @dataclass
@@ -76,9 +83,129 @@ class NodeAlgorithm:
         """Process the messages received this round (keyed by port)."""
 
     def is_finished(self) -> bool:
-        """Whether this node has computed its final output."""
+        """Whether this node has computed its final output.
+
+        Termination must be *monotone*: once a node reports finished it must
+        keep reporting finished (the engine tracks an active set of
+        unfinished nodes and never re-checks nodes that already finished).
+        """
         return True
 
     def result(self) -> Any:
         """The node's output (e.g. its chosen color)."""
         return None
+
+
+# ---------------------------------------------------------------------------
+# Batched node programs
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchContext:
+    """What a batched node program knows about the whole network.
+
+    The arrays are the simulator's routing fabric (numpy ``int64``), shared
+    read-only with the program: ``offsets[i] .. offsets[i+1]`` delimits the
+    directed edge slots of the node with index ``i`` (identifier ``i+1``),
+    ``endpoints[slot]`` is the node index on the other side of a slot, and
+    ``reverse_slot[slot]`` the same edge seen from that side.  ``inputs`` is
+    the per-node algorithm input by node index.
+
+    A batched program sees the *same* information a per-node program could
+    assemble from one round of neighbour exchange (identifiers are public in
+    the LOCAL model and ``endpoints`` is exactly what an id-broadcast round
+    delivers) — it must not derive anything a message-passing algorithm
+    could not.
+    """
+
+    n: int
+    identifiers: Any  # int64[n], values 1..n
+    degrees: Any  # int64[n]
+    offsets: Any  # int64[n+1]
+    endpoints: Any  # int64[num_slots]
+    reverse_slot: Any  # int64[num_slots]
+    sources: Any = None  # int64[num_slots]: source node index of each slot
+    inputs: list[Any] = field(default_factory=list)
+    network: Any = None
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.endpoints)
+
+
+class BatchNodeAlgorithm:
+    """Opt-in batched node program: one instance drives all ``n`` nodes.
+
+    Instead of the simulator calling ``send``/``receive`` on ``n`` node
+    objects, a batched program exchanges *per-slot numpy arrays* with the
+    engine once per round:
+
+    * :meth:`send_batch` returns the outgoing message values aligned with
+      the fabric's directed edge slots — ``out[offsets[i] + p]`` is what
+      node ``i`` sends on port ``p``.  Return ``None`` for a silent round,
+      or a ``(values, mask)`` pair to send on a subset of slots.
+    * the engine routes the array through ``reverse_slot`` (one fancy-index
+      gather) and calls :meth:`receive_batch` with the inbox array —
+      ``inbox[offsets[i] + p]`` is what node ``i`` received on port ``p``
+      (``delivered`` masks the slots that actually carry a message, or is
+      ``None`` when all do).
+
+    The round/message accounting is identical to the per-node engine: a
+    batched port of a per-node algorithm must produce the same
+    ``SimulationResult`` (the parity tests enforce this for the shipped
+    ports).  Set :attr:`fallback` to the equivalent per-node factory; the
+    simulator transparently runs it when numpy is unavailable or
+    :meth:`can_run` declines the instance (e.g. values too wide for the
+    vectorized bit tricks).
+    """
+
+    #: Per-node factory the simulator falls back to when the batched path
+    #: cannot run (numpy missing, or :meth:`can_run` returned False).
+    fallback: ClassVar[Callable[[], NodeAlgorithm] | None] = None
+
+    def can_run(self, context: BatchContext) -> bool:
+        """Whether the batched path supports this instance (default: yes)."""
+        return True
+
+    def initialize_batch(self, context: BatchContext) -> None:
+        """Called once before round 1 with the whole-network context."""
+        self.context = context
+
+    def send_batch(self, round_number: int):
+        """Per-slot outgoing values: ``ndarray``, ``(ndarray, mask)`` or ``None``."""
+        return None
+
+    def receive_batch(self, round_number: int, inbox, delivered) -> None:
+        """Process the per-slot inbox (``delivered`` is a bool mask or ``None``)."""
+
+    def is_finished_batch(self) -> bool:
+        """Whether every node has computed its final output (monotone)."""
+        return True
+
+    def results_batch(self) -> list[Any]:
+        """Per-node outputs by node index."""
+        return [None] * self.context.n
+
+
+def segment_reduce(ufunc, values, offsets, empty=0):
+    """Per-node reduction of per-slot ``values``: ``out[i] = ufunc.reduce(values[offsets[i]:offsets[i+1]])``.
+
+    The workhorse of batched programs ("OR of my neighbours' color bits",
+    "max uncolored neighbour id").  Wraps ``ufunc.reduceat`` with the empty
+    segment handling it lacks: degree-0 nodes get ``empty``.  The reduction
+    runs over the starts of the *non-empty* segments only — consecutive
+    non-empty starts delimit exactly one segment's values because the
+    segments skipped in between are empty — so trailing empty segments
+    cannot truncate the last real one.
+    """
+    import numpy as np
+
+    n = len(offsets) - 1
+    out = np.full(n, empty, dtype=np.int64)
+    if n == 0 or len(values) == 0:
+        return out
+    starts = offsets[:-1]
+    nonempty = np.flatnonzero(starts != offsets[1:])
+    if nonempty.size:
+        out[nonempty] = ufunc.reduceat(values, starts[nonempty])
+    return out

@@ -1,0 +1,126 @@
+"""The seed dict-routed round engine, kept verbatim as the parity reference.
+
+This is the pre-flat-array :class:`SynchronousSimulator` (PR 1 era): it
+scans all ``n`` node objects every round (``all(is_finished())``), allocates
+fresh per-vertex inbox dicts each round, and routes every message through
+the ``neighbor_on_port`` + ``port_towards`` dict hops.  It is *not* used by
+any driver — it exists so that
+
+* the parity property tests can assert the flat-array engine
+  (:mod:`repro.local.simulator`) produces an identical
+  :class:`~repro.local.simulator.SimulationResult` on every node program,
+  and
+* the ``simulator`` benchmark scenario can measure the rounds/sec and
+  messages/sec speedup of the flat engine against the exact seed baseline.
+
+Do not "improve" this module: its value is being frozen in time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.graphs.frozen import GraphLike
+from repro.graphs.graph import Vertex
+from repro.local.network import Network
+from repro.local.node import NodeAlgorithm, NodeContext
+from repro.local.simulator import SimulationResult
+
+__all__ = ["ReferenceSimulator", "run_reference_algorithm"]
+
+
+class ReferenceSimulator:
+    """The seed engine: dict-keyed outboxes/inboxes, dict-hop routing."""
+
+    def __init__(self, network: Network):
+        self.network = network
+
+    def run(
+        self,
+        algorithm_factory: Callable[[], NodeAlgorithm],
+        inputs: Mapping[Vertex, Any] | None = None,
+        max_rounds: int = 10_000,
+        strict: bool = False,
+    ) -> SimulationResult:
+        network = self.network
+        inputs = network.translate_inputs(inputs)
+        nodes: dict[Vertex, NodeAlgorithm] = {}
+        for v in network.graph:
+            node = algorithm_factory()
+            node.initialize(
+                NodeContext(
+                    identifier=network.identifier_of[v],
+                    n=network.n,
+                    degree=network.degree(v),
+                    input=inputs[v],
+                )
+            )
+            nodes[v] = node
+
+        total_messages = 0
+        per_round: list[int] = []
+        rounds = 0
+        while not all(node.is_finished() for node in nodes.values()):
+            if rounds >= max_rounds:
+                if strict:
+                    unfinished = sum(
+                        1 for node in nodes.values() if not node.is_finished()
+                    )
+                    raise SimulationError(
+                        f"simulation hit max_rounds={max_rounds} with "
+                        f"{unfinished} unfinished node(s)"
+                    )
+                return SimulationResult(
+                    rounds=rounds,
+                    outputs={v: node.result() for v, node in nodes.items()},
+                    messages_sent=total_messages,
+                    finished=False,
+                    per_round_messages=per_round,
+                )
+            rounds += 1
+            outbox: dict[Vertex, dict[int, Any]] = {}
+            for v, node in nodes.items():
+                messages = node.send(rounds) or {}
+                for port in messages:
+                    if not 0 <= port < network.degree(v):
+                        raise SimulationError(
+                            f"node {v!r} sent on invalid port {port}"
+                        )
+                outbox[v] = messages
+            round_messages = 0
+            inbox: dict[Vertex, dict[int, Any]] = {v: {} for v in nodes}
+            for v, messages in outbox.items():
+                for port, payload in messages.items():
+                    u = network.neighbor_on_port(v, port)
+                    inbox[u][network.port_towards(u, v)] = payload
+                    round_messages += 1
+            for v, node in nodes.items():
+                node.receive(rounds, inbox[v])
+            total_messages += round_messages
+            per_round.append(round_messages)
+
+        return SimulationResult(
+            rounds=rounds,
+            outputs={v: node.result() for v, node in nodes.items()},
+            messages_sent=total_messages,
+            finished=True,
+            per_round_messages=per_round,
+        )
+
+
+def run_reference_algorithm(
+    graph: GraphLike,
+    algorithm_factory: Callable[[], NodeAlgorithm],
+    inputs: Mapping[Vertex, Any] | None = None,
+    max_rounds: int = 10_000,
+    strict: bool = False,
+    *,
+    network: Network | None = None,
+) -> SimulationResult:
+    """Seed-engine twin of :func:`~repro.local.simulator.run_node_algorithm`."""
+    simulator = ReferenceSimulator(network if network is not None else Network(graph))
+    return simulator.run(
+        algorithm_factory, inputs=inputs, max_rounds=max_rounds, strict=strict
+    )

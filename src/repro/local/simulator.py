@@ -1,7 +1,6 @@
 """Synchronous round engine of the LOCAL-model simulator.
 
-The simulator owns one :class:`~repro.local.node.NodeAlgorithm` instance per
-vertex and repeats, until every node reports that it is finished (or a
+The simulator repeats, until every node reports that it is finished (or a
 round limit is hit):
 
 1. ask every node for its outgoing messages (:meth:`send`),
@@ -12,6 +11,31 @@ round-complexity experiments measure.  It enforces the *synchronous*
 semantics strictly: all ``send`` calls of a round happen before any
 ``receive`` of that round, so no node can react to information it should
 not yet have.
+
+The data plane runs on the network's flat-array routing fabric
+(:class:`~repro.local.network.RoutingFabric`):
+
+* delivery is one array read — the message node ``i`` sends on port ``p``
+  lands in inbox slot ``reverse_slot[offsets[i] + p]`` — instead of the
+  ``neighbor_on_port`` + ``port_towards`` dict hops of the dict-routed seed
+  engine (kept verbatim in :mod:`repro.local.reference` for parity tests
+  and A/B benchmarks);
+* inbox payloads live in one preallocated per-slot list reused across
+  rounds (no fresh per-vertex dicts per round); the per-node ``receive``
+  dicts are built only for nodes that actually received messages;
+* termination tracks an *active set* of unfinished node indices — no
+  O(n) ``all(is_finished())`` scan per round (which is why
+  :meth:`NodeAlgorithm.is_finished` must be monotone);
+* a :class:`~repro.local.node.BatchNodeAlgorithm` opts into the fully
+  vectorized path: one ``send_batch``/``receive_batch`` numpy-array
+  exchange per round for all nodes at once, falling back transparently to
+  its per-node twin when numpy is unavailable.
+
+Note that finished nodes still ``send`` and ``receive`` every round until
+the whole network terminates — protocols like the greedy baseline rely on
+finished nodes broadcasting their state — so the per-round work is O(n + m)
+either way; the flat fabric and the batched path cut the constant, which is
+what the ``simulator`` scenario measures.
 """
 
 from __future__ import annotations
@@ -21,10 +45,15 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SimulationError
-from repro.graphs.frozen import GraphLike
+from repro.graphs.frozen import GraphLike, freeze
 from repro.graphs.graph import Vertex
 from repro.local.network import Network
-from repro.local.node import NodeAlgorithm, NodeContext
+from repro.local.node import (
+    BatchContext,
+    BatchNodeAlgorithm,
+    NodeAlgorithm,
+    NodeContext,
+)
 
 __all__ = ["SimulationResult", "SynchronousSimulator", "run_node_algorithm"]
 
@@ -53,17 +82,23 @@ class SimulationResult:
 
 
 class SynchronousSimulator:
-    """Runs a node program on a network, one instance per vertex."""
+    """Runs a node program on a network, one instance per vertex.
+
+    A factory producing :class:`~repro.local.node.BatchNodeAlgorithm`
+    instances is routed to the vectorized batched loop instead (one program
+    instance drives all nodes); everything else runs the per-node loop.
+    """
 
     def __init__(self, network: Network):
         self.network = network
 
     def run(
         self,
-        algorithm_factory: Callable[[], NodeAlgorithm],
+        algorithm_factory: Callable[[], NodeAlgorithm | BatchNodeAlgorithm],
         inputs: Mapping[Vertex, Any] | None = None,
         max_rounds: int = 10_000,
         strict: bool = False,
+        debug: bool = False,
     ) -> SimulationResult:
         """Execute the algorithm until all nodes finish or ``max_rounds`` is hit.
 
@@ -72,67 +107,232 @@ class SynchronousSimulator:
         :class:`~repro.errors.SimulationError` instead, which is what callers
         that *assume* termination (most tests and drivers) should use so that
         a diverging algorithm cannot silently masquerade as a slow one.
+
+        Malformed sends always raise :class:`~repro.errors.SimulationError`
+        (non-mapping returns, out-of-range ports — the latter validated with
+        one comparison per message against the routing table); ``debug=True``
+        upgrades the port errors to descriptive ones naming the vertex and
+        its valid port range.
         """
+        probe = algorithm_factory()
+        if isinstance(probe, BatchNodeAlgorithm):
+            return self._run_batched(probe, inputs, max_rounds, strict, debug)
+        return self._run_per_node(
+            probe, algorithm_factory, inputs, max_rounds, strict, debug
+        )
+
+    # ------------------------------------------------------------------
+    # Per-node engine
+    # ------------------------------------------------------------------
+    def _run_per_node(
+        self,
+        first: NodeAlgorithm,
+        algorithm_factory: Callable[[], NodeAlgorithm],
+        inputs: Mapping[Vertex, Any] | None,
+        max_rounds: int,
+        strict: bool,
+        debug: bool,
+    ) -> SimulationResult:
         network = self.network
-        inputs = network.translate_inputs(inputs)
-        nodes: dict[Vertex, NodeAlgorithm] = {}
-        for v in network.graph:
-            node = algorithm_factory()
+        fabric = network.fabric
+        offsets = fabric.offsets
+        endpoints = fabric.endpoints
+        reverse_slot = fabric.reverse_slot
+        labels = network.labels
+        n = fabric.n
+        inputs_list = network.inputs_list(inputs)
+
+        nodes: list[NodeAlgorithm] = []
+        for i in range(n):
+            node = first if i == 0 else algorithm_factory()
             node.initialize(
                 NodeContext(
-                    identifier=network.identifier_of[v],
-                    n=network.n,
-                    degree=network.degree(v),
-                    input=inputs[v],
+                    identifier=i + 1,
+                    n=n,
+                    degree=fabric.degrees[i],
+                    input=inputs_list[i],
                 )
             )
-            nodes[v] = node
+            nodes.append(node)
+
+        # preallocated data plane, reused across rounds: per-slot payloads
+        # plus, per receiver, the list of inbox slots touched this round
+        payloads: list[Any] = [None] * fabric.num_slots
+        received: list[list[int]] = [[] for _ in range(n)]
+        # staging a message only writes these buffers — no node reads them
+        # until the receive phase — so delivery can ride the send loop
+        # without breaking the all-sends-before-any-receive semantics
+        stage = [lst.append for lst in received]
+        active = [i for i in range(n) if not nodes[i].is_finished()]
 
         total_messages = 0
         per_round: list[int] = []
         rounds = 0
-        while not all(node.is_finished() for node in nodes.values()):
+        while active:
             if rounds >= max_rounds:
                 if strict:
-                    unfinished = sum(
-                        1 for node in nodes.values() if not node.is_finished()
-                    )
                     raise SimulationError(
                         f"simulation hit max_rounds={max_rounds} with "
-                        f"{unfinished} unfinished node(s)"
+                        f"{len(active)} unfinished node(s)"
+                    )
+                return self._result(labels, nodes, rounds, total_messages,
+                                    per_round, finished=False)
+            rounds += 1
+            round_messages = 0
+            for i, node in enumerate(nodes):
+                out = node.send(rounds)
+                if not out:
+                    continue
+                try:  # free on the fast path; SimulationError surface kept
+                    items = out.items()
+                except AttributeError:
+                    raise SimulationError(
+                        f"node {labels[i]!r} returned {type(out).__name__} "
+                        "from send(); expected a port -> payload mapping"
+                    ) from None
+                base = offsets[i]
+                degree = offsets[i + 1] - base
+                for port, payload in items:
+                    if not 0 <= port < degree:
+                        raise self._port_error(i, port, degree, debug)
+                    slot = base + port
+                    dest = reverse_slot[slot]
+                    payloads[dest] = payload
+                    stage[endpoints[slot]](dest)
+                round_messages += len(out)
+            # receive phase: every node hears its (possibly empty) inbox
+            for j, node in enumerate(nodes):
+                slots = received[j]
+                if slots:
+                    base = offsets[j]
+                    messages = {slot - base: payloads[slot] for slot in slots}
+                    slots.clear()
+                else:
+                    messages = {}
+                node.receive(rounds, messages)
+            total_messages += round_messages
+            per_round.append(round_messages)
+            active = [i for i in active if not nodes[i].is_finished()]
+
+        return self._result(labels, nodes, rounds, total_messages, per_round,
+                            finished=True)
+
+    def _port_error(
+        self, index: int, port: Any, degree: int, debug: bool
+    ) -> SimulationError:
+        label = self.network.labels[index]
+        if debug:
+            return SimulationError(
+                f"node {label!r} (identifier {index + 1}) sent on invalid "
+                f"port {port!r}; valid ports are 0..{degree - 1} "
+                f"(degree {degree})"
+            )
+        return SimulationError(f"node {label!r} sent on invalid port {port}")
+
+    @staticmethod
+    def _result(
+        labels: list[Vertex],
+        nodes: list[NodeAlgorithm],
+        rounds: int,
+        total_messages: int,
+        per_round: list[int],
+        finished: bool,
+    ) -> SimulationResult:
+        return SimulationResult(
+            rounds=rounds,
+            outputs={labels[i]: node.result() for i, node in enumerate(nodes)},
+            messages_sent=total_messages,
+            finished=finished,
+            per_round_messages=per_round,
+        )
+
+    # ------------------------------------------------------------------
+    # Batched engine
+    # ------------------------------------------------------------------
+    def _run_batched(
+        self,
+        program: BatchNodeAlgorithm,
+        inputs: Mapping[Vertex, Any] | None,
+        max_rounds: int,
+        strict: bool,
+        debug: bool = False,
+    ) -> SimulationResult:
+        network = self.network
+        fabric = network.fabric
+        inputs_list = network.inputs_list(inputs)
+
+        context: BatchContext | None = None
+        if fabric.has_numpy:
+            import numpy as np
+
+            context = BatchContext(
+                n=fabric.n,
+                identifiers=np.arange(1, fabric.n + 1, dtype=np.int64),
+                degrees=np.asarray(fabric.degrees, dtype=np.int64),
+                offsets=fabric.offsets_np,
+                endpoints=fabric.endpoints_np,
+                reverse_slot=fabric.reverse_np,
+                sources=fabric.sources_np(),
+                inputs=inputs_list,
+                network=network,
+            )
+        if context is None or not program.can_run(context):
+            factory = type(program).fallback
+            if factory is None:
+                raise SimulationError(
+                    f"{type(program).__name__} cannot run batched here "
+                    "(numpy unavailable or can_run() declined) and declares "
+                    "no per-node fallback"
+                )
+            return self._run_per_node(
+                factory(), factory, inputs, max_rounds, strict, debug
+            )
+
+        reverse = fabric.reverse_np
+        num_slots = fabric.num_slots
+        labels = network.labels
+        program.initialize_batch(context)
+
+        total_messages = 0
+        per_round: list[int] = []
+        rounds = 0
+        while not program.is_finished_batch():
+            if rounds >= max_rounds:
+                if strict:
+                    raise SimulationError(
+                        f"simulation hit max_rounds={max_rounds} with "
+                        "unfinished node(s)"
                     )
                 return SimulationResult(
                     rounds=rounds,
-                    outputs={v: node.result() for v, node in nodes.items()},
+                    outputs=dict(zip(labels, program.results_batch())),
                     messages_sent=total_messages,
                     finished=False,
                     per_round_messages=per_round,
                 )
             rounds += 1
-            outbox: dict[Vertex, dict[int, Any]] = {}
-            for v, node in nodes.items():
-                messages = node.send(rounds) or {}
-                for port in messages:
-                    if not 0 <= port < network.degree(v):
-                        raise SimulationError(
-                            f"node {v!r} sent on invalid port {port}"
-                        )
-                outbox[v] = messages
-            round_messages = 0
-            inbox: dict[Vertex, dict[int, Any]] = {v: {} for v in nodes}
-            for v, messages in outbox.items():
-                for port, payload in messages.items():
-                    u = network.neighbor_on_port(v, port)
-                    inbox[u][network.port_towards(u, v)] = payload
-                    round_messages += 1
-            for v, node in nodes.items():
-                node.receive(rounds, inbox[v])
+            sent = program.send_batch(rounds)
+            if sent is None:
+                inbox = delivered = None
+                round_messages = 0
+            elif isinstance(sent, tuple):
+                values, mask = sent
+                # reverse_slot is an involution: the message arriving at
+                # slot k is the one sent from slot reverse_slot[k]
+                inbox = values[reverse]
+                delivered = mask[reverse]
+                round_messages = int(mask.sum())
+            else:
+                inbox = sent[reverse]
+                delivered = None
+                round_messages = num_slots
+            program.receive_batch(rounds, inbox, delivered)
             total_messages += round_messages
             per_round.append(round_messages)
 
         return SimulationResult(
             rounds=rounds,
-            outputs={v: node.result() for v, node in nodes.items()},
+            outputs=dict(zip(labels, program.results_batch())),
             messages_sent=total_messages,
             finished=True,
             per_round_messages=per_round,
@@ -141,13 +341,31 @@ class SynchronousSimulator:
 
 def run_node_algorithm(
     graph: GraphLike,
-    algorithm_factory: Callable[[], NodeAlgorithm],
+    algorithm_factory: Callable[[], NodeAlgorithm | BatchNodeAlgorithm],
     inputs: Mapping[Vertex, Any] | None = None,
     max_rounds: int = 10_000,
     strict: bool = False,
+    *,
+    network: Network | None = None,
+    debug: bool = False,
 ) -> SimulationResult:
-    """Convenience wrapper: build the network and run the algorithm."""
-    simulator = SynchronousSimulator(Network(graph))
+    """Convenience wrapper: build the network and run the algorithm.
+
+    Follows the freeze-at-the-boundary convention (docs/architecture.md):
+    an unfrozen ``graph`` is frozen once here so the network's port tables
+    and routing fabric read zero-copy off the CSR (freezing preserves the
+    vertex order, hence the identifier assignment).  Callers that run
+    several algorithms on the same graph should build one
+    :class:`~repro.local.network.Network` and pass it as ``network=`` —
+    the graph argument is then only documentation and is not re-validated.
+    """
+    if network is None:
+        network = Network(freeze(graph))
+    simulator = SynchronousSimulator(network)
     return simulator.run(
-        algorithm_factory, inputs=inputs, max_rounds=max_rounds, strict=strict
+        algorithm_factory,
+        inputs=inputs,
+        max_rounds=max_rounds,
+        strict=strict,
+        debug=debug,
     )

@@ -184,6 +184,43 @@ def _resolve(scenario: "Scenario | str") -> Scenario:
     return get_scenario(scenario)
 
 
+def _merge_repeats(rows, repeat_rows) -> None:
+    """Fold repeated measurements into ``rows``: median-of-K wall times.
+
+    Deterministic seeding makes the non-timing metrics identical across
+    repeats, so only values that actually vary (wall times, the
+    ``*_seconds`` / throughput metrics of timing scenarios) are replaced by
+    their median — everything else keeps its first-run value and type.
+    """
+    import statistics
+
+    def _median(values):
+        if any(
+            isinstance(v, bool) or not isinstance(v, (int, float))
+            for v in values
+        ):
+            return None
+        return statistics.median(values) if len(set(values)) > 1 else None
+
+    for index, row in enumerate(rows):
+        series = [row] + [extra[index] for extra in repeat_rows]
+        row.seconds = statistics.median(r.seconds for r in series)
+        for key, value in row.metrics.items():
+            if key == "stage_seconds" and isinstance(value, dict):
+                for stage in value:
+                    median = _median(
+                        [r.metrics.get(key, {}).get(stage) for r in series]
+                    )
+                    if median is not None:
+                        value[stage] = median
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            median = _median([r.metrics.get(key) for r in series])
+            if median is not None:
+                row.metrics[key] = median
+
+
 def run_scenario(
     scenario: "Scenario | str",
     *,
@@ -195,6 +232,7 @@ def run_scenario(
     export: bool = True,
     out: str | Path | None = None,
     strict: bool = True,
+    repeat: int = 1,
 ) -> ScenarioRun:
     """Execute one scenario through :meth:`ExperimentRunner.run_batch`.
 
@@ -206,8 +244,16 @@ def run_scenario(
     count.  With ``strict`` (the default) failing paper-reference checks
     raise :class:`ScenarioCheckError`; the failures are always recorded on
     the returned :class:`ScenarioRun` and in the artifact metadata.
+
+    ``repeat=K`` runs the whole batch K times (same derived seeds) and
+    reports the median wall time per row — both ``seconds`` and any
+    numeric timing metrics that vary across repeats — so BENCH artifacts
+    are stable enough to diff with ``tools/bench_diff.py``.  ``finalize``
+    and ``check`` see the medianized rows.
     """
     scenario = _resolve(scenario)
+    if repeat < 1:
+        raise ScenarioError(f"repeat must be >= 1, got {repeat}")
     params = scenario.params_for(smoke=smoke, overrides=overrides)
     tasks = scenario.build_tasks(params, profile)
     if not tasks:
@@ -225,6 +271,7 @@ def run_scenario(
                 "seed": seed,
                 "workers": workers,
                 "serial": scenario.serial_only or workers == 1,
+                "repeat": repeat,
             },
             "params": params,
             "reference": dict(scenario.reference),
@@ -232,7 +279,18 @@ def run_scenario(
     )
     parallel = not scenario.serial_only and workers != 1
     start = time.perf_counter()
-    runner.run_batch(tasks, max_workers=workers, base_seed=seed, parallel=parallel)
+    rows = runner.run_batch(tasks, max_workers=workers, base_seed=seed, parallel=parallel)
+    repeat_rows = []
+    for _ in range(repeat - 1):
+        again = ExperimentRunner(scenario.name)
+        repeat_rows.append(
+            again.run_batch(
+                scenario.build_tasks(params, profile),
+                max_workers=workers, base_seed=seed, parallel=parallel,
+            )
+        )
+    if repeat_rows:
+        _merge_repeats(rows, repeat_rows)
     elapsed = time.perf_counter() - start
 
     if scenario.finalize is not None:

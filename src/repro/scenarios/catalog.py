@@ -626,6 +626,107 @@ register(Scenario(
 
 
 # ---------------------------------------------------------------------------
+# E14 — simulator (flat-array round engine A/B)
+# ---------------------------------------------------------------------------
+
+_SIM_ENGINES = ("seed", "flat", "batch")
+_SIM_ALGORITHMS = (
+    # (algorithm key, topology, row label)
+    ("cole-vishkin", "path", "Cole-Vishkin"),
+    ("greedy", "ring", "greedy"),
+)
+
+
+def _build_simulator(params: Params, profile: bool) -> list[BatchTask]:
+    built = []
+    for key, topology, label in _SIM_ALGORITHMS:
+        for n in params["sizes"]:
+            for engine in params["engines"]:
+                built.append(BatchTask(
+                    f"{topology} n={n}", f"{label} [{engine}]",
+                    tasks.simulator_throughput,
+                    args=(n, topology, key, engine),
+                    kwargs={"id_seed": params["id_seed"], "profile": profile},
+                    seed_arg=None,
+                ))
+    return built
+
+
+def _finalize_simulator(runner: ExperimentRunner, params: Params) -> None:
+    sizes = list(params["sizes"])
+    for key, topology, label in _SIM_ALGORITHMS:
+        baseline = runner.metric_series(f"{label} [seed]", "engine_seconds")
+        for engine in params["engines"]:
+            if engine == "seed":
+                continue
+            timed = runner.metric_series(f"{label} [{engine}]", "engine_seconds")
+            for n, seed_s, engine_s in zip(sizes, baseline, timed):
+                if engine_s > 0:
+                    speedup = round(seed_s / engine_s, 2)
+                    runner.metadata[f"speedup[{label}][{engine}][n={n}]"] = speedup
+                    runner.add(
+                        f"{topology} n={n}", f"{label} {engine} speedup",
+                        n=n, speedup_x=speedup,
+                    )
+
+
+def _check_simulator(runner: ExperimentRunner, params: Params) -> list[str]:
+    failures = []
+    # the three engines must agree on the round/message counts — that is
+    # the cross-engine parity contract the property tests assert in depth
+    for _key, topology, label in _SIM_ALGORITHMS:
+        for metric in ("rounds", "messages"):
+            series = {
+                engine: runner.metric_series(f"{label} [{engine}]", metric)
+                for engine in params["engines"]
+            }
+            baseline = series.get("seed")
+            for engine, values in series.items():
+                if baseline is not None and values != baseline:
+                    failures.append(
+                        f"{label}: {metric} diverge between seed {baseline} "
+                        f"and {engine} {values}"
+                    )
+    # the headline speedup: batched Cole-Vishkin vs the seed engine at the
+    # largest size (>= 5x at benchmark sizes; a loose sanity floor on the
+    # tiny smoke grid where constant overheads dominate)
+    largest = max(params["sizes"])
+    target = 5.0 if largest >= 50_000 else 1.0
+    recorded = runner.metadata.get(f"speedup[Cole-Vishkin][batch][n={largest}]")
+    if recorded is not None and recorded < target:
+        failures.append(
+            f"batched Cole-Vishkin speedup {recorded}x at n={largest} "
+            f"below the {target}x target"
+        )
+    return failures
+
+
+register(Scenario(
+    name="simulator",
+    title="LOCAL round engine throughput — seed vs flat-array vs batched",
+    paper_ref="simulation infrastructure",
+    description=(
+        "Rounds/sec and messages/sec of the synchronous round engine on "
+        "Cole-Vishkin (rooted path) and the greedy baseline (ring, random "
+        "identifiers): the dict-routed seed engine against the flat-array "
+        "per-node engine and the vectorized batched protocol, with "
+        "cross-engine round/message parity checked on every instance."
+    ),
+    build_tasks=_build_simulator,
+    defaults={"sizes": (10_000, 100_000), "engines": _SIM_ENGINES, "id_seed": 7},
+    smoke_overrides={"sizes": (1_500,)},
+    reference={
+        "parity": "identical rounds/messages on all engines",
+        "speedup": ">= 5x rounds/sec for batched Cole-Vishkin at n=10^5",
+    },
+    size_param="sizes",
+    serial_only=True,
+    finalize=_finalize_simulator,
+    check=_check_simulator,
+))
+
+
+# ---------------------------------------------------------------------------
 # Campaigns: named scenario sets for `python -m repro campaign`
 # ---------------------------------------------------------------------------
 
@@ -639,5 +740,5 @@ CAMPAIGNS: dict[str, list[str]] = {
         "lemma31-happy-fraction", "lemma32-extension",
     ],
     "lowerbounds": ["lowerbound-fisk", "lowerbound-grids"],
-    "perf": ["primitives"],
+    "perf": ["primitives", "simulator"],
 }

@@ -487,6 +487,116 @@ def primitives_path_lower_bound(n: int, rounds: int, profile: bool = False) -> d
     }
 
 
+def simulator_throughput(
+    n: int,
+    topology: str,
+    algorithm: str,
+    engine: str,
+    id_seed: int | None = None,
+    profile: bool = False,
+) -> dict[str, Any]:
+    """Time one full simulation on the seed, flat or batched round engine.
+
+    ``engine`` selects the data plane: ``seed`` is the dict-routed
+    reference engine (:mod:`repro.local.reference`), ``flat`` the
+    flat-array per-node engine and ``batch`` the vectorized
+    :class:`~repro.local.node.BatchNodeAlgorithm` path.  ``algorithm`` is
+    ``cole-vishkin`` (rooted path) or ``greedy`` (ring with identifiers
+    shuffled by ``id_seed`` so the decreasing-id chains stay logarithmic
+    and every engine sees the same instance).  The network and its routing
+    fabric are built during the ``freeze`` stage, so ``engine_seconds``
+    measures pure round throughput.
+    """
+    import random
+
+    from repro.distributed.cole_vishkin import (
+        BatchColeVishkinForestColoring,
+        ColeVishkinForestColoring,
+        cole_vishkin_iterations,
+    )
+    from repro.distributed.greedy_baseline import (
+        BatchGreedyLocalMaximaAlgorithm,
+        GreedyLocalMaximaAlgorithm,
+    )
+    from repro.local.network import Network
+    from repro.local.reference import ReferenceSimulator
+    from repro.local.simulator import SynchronousSimulator
+
+    prof = StageProfile(profile)
+    with prof("generate"):
+        if topology == "path":
+            graph = classic.path(n)
+        elif topology == "ring":
+            graph = classic.cycle(n)
+        else:
+            raise ValueError(f"unknown topology {topology!r}")
+    with prof("freeze"):
+        frozen = graph.freeze()
+        if algorithm == "greedy":
+            order = frozen.vertices()
+            random.Random(id_seed).shuffle(order)
+            network = Network(frozen, identifier_order=order)
+        else:
+            network = Network(frozen)
+        network.fabric  # build the routing table outside the timed engine run
+        network.ports  # ... and the dict views the seed engine routes through
+        network.port_of
+    if algorithm == "cole-vishkin":
+        # rooted path: parent of vertex i is i - 1
+        inputs = {
+            v: None if v == 0 else network.identifier_of[v - 1] for v in frozen
+        }
+        per_node: Any = ColeVishkinForestColoring
+        batched: Any = BatchColeVishkinForestColoring
+        max_rounds = 10 * cole_vishkin_iterations(n) + 30
+        palette = 3
+    elif algorithm == "greedy":
+        delta = max(1, frozen.max_degree())
+        inputs = {v: delta for v in frozen}
+        per_node = GreedyLocalMaximaAlgorithm
+        batched = BatchGreedyLocalMaximaAlgorithm
+        max_rounds = n + 2
+        palette = delta + 1
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    with prof("solve"):
+        start = time.perf_counter()
+        if engine == "seed":
+            result = ReferenceSimulator(network).run(
+                per_node, inputs=inputs, max_rounds=max_rounds, strict=True
+            )
+        elif engine == "flat":
+            result = SynchronousSimulator(network).run(
+                per_node, inputs=inputs, max_rounds=max_rounds, strict=True
+            )
+        elif engine == "batch":
+            result = SynchronousSimulator(network).run(
+                batched, inputs=inputs, max_rounds=max_rounds, strict=True
+            )
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        elapsed = time.perf_counter() - start
+    with prof("verify"):
+        assert result.finished
+        outputs = result.outputs
+        offset = 0 if algorithm == "cole-vishkin" else 1
+        for v in frozen:
+            color = outputs[v]
+            assert offset <= color < palette + offset
+            for u in frozen.neighbors(v):
+                assert outputs[u] != color
+    return {
+        "n": n,
+        "rounds": result.rounds,
+        "messages": result.messages_sent,
+        "engine_seconds": elapsed,
+        "rounds_per_sec": round(result.rounds / elapsed, 1) if elapsed > 0 else 0.0,
+        "messages_per_sec": round(result.messages_sent / elapsed) if elapsed > 0 else 0,
+        **prof.metrics(),
+    }
+
+
 def primitives_degeneracy(
     n: int, arboricity: int, backend: str, seed: int | None = None, profile: bool = False
 ) -> dict[str, Any]:

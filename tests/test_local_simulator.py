@@ -98,6 +98,34 @@ def test_invalid_port_raises():
         run_node_algorithm(classic.cycle(4), BadPortSender)
 
 
+def test_invalid_port_debug_mode_names_the_range():
+    with pytest.raises(SimulationError, match=r"valid ports are 0\.\.1"):
+        run_node_algorithm(classic.cycle(4), BadPortSender, debug=True)
+
+
+class ListSender(NodeAlgorithm):
+    def send(self, round_number):
+        return [1, 2]  # not a mapping
+
+    def is_finished(self):
+        return False
+
+
+@pytest.mark.parametrize("debug", [False, True])
+def test_non_mapping_send_raises_simulation_error(debug):
+    with pytest.raises(SimulationError, match="expected a port -> payload"):
+        run_node_algorithm(classic.cycle(4), ListSender, debug=debug, max_rounds=2)
+
+
+def test_prebuilt_network_is_reused():
+    g = classic.cycle(6).freeze()
+    net = Network(g)
+    r1 = run_node_algorithm(g, EchoDegree, network=net, strict=True)
+    r2 = run_node_algorithm(g, EchoDegree, network=net, strict=True)
+    assert r1.outputs == r2.outputs
+    assert net.fabric is net.fabric  # built once, cached
+
+
 class NeverFinishes(NodeAlgorithm):
     def is_finished(self):
         return False

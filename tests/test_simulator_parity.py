@@ -1,0 +1,327 @@
+"""Parity property tests: flat-array engine == seed engine, batched == per-node.
+
+The flat-array :class:`~repro.local.simulator.SynchronousSimulator` must
+return an *identical* :class:`~repro.local.simulator.SimulationResult`
+(rounds, outputs, messages_sent, per_round_messages, finished) to the seed
+dict-routed engine (:mod:`repro.local.reference`) for every node algorithm
+in the library, across random sparse and planar graphs — and the batched
+ports of Cole–Vishkin and the greedy baseline must match their per-node
+twins exactly.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.distributed.cole_vishkin import (
+    BatchColeVishkinForestColoring,
+    ColeVishkinForestColoring,
+    color_rooted_forest,
+)
+from repro.distributed.greedy_baseline import (
+    BatchGreedyLocalMaximaAlgorithm,
+    GreedyLocalMaximaAlgorithm,
+    greedy_distributed_coloring,
+)
+from repro.distributed.linial import (
+    ColorReductionAlgorithm,
+    LinialColoringAlgorithm,
+)
+from repro.graphs.generators import classic, planar, sparse
+from repro.local import (
+    BallCollectionAlgorithm,
+    BatchNodeAlgorithm,
+    Network,
+    NodeAlgorithm,
+    ReferenceSimulator,
+    SynchronousSimulator,
+    run_node_algorithm,
+)
+
+
+def _graphs():
+    """Random sparse / planar instances plus deterministic topologies."""
+    cases = [
+        ("path_9", classic.path(9)),
+        ("cycle_12", classic.cycle(12)),
+        ("star_6", classic.star(6)),
+        ("grid_4x5", classic.grid_2d(4, 5)),
+    ]
+    for seed in range(3):
+        cases.append(
+            (f"forest_union_{seed}", sparse.union_of_random_forests(40, 2, seed=seed))
+        )
+        cases.append(
+            (f"planar_{seed}", planar.stacked_triangulation(30, seed=seed))
+        )
+    return cases
+
+
+GRAPHS = _graphs()
+
+
+def _bfs_parents(graph):
+    """Parent pointers of a BFS forest covering every component."""
+    parents = {}
+    for v in graph:
+        if v in parents:
+            continue
+        parents[v] = None
+        queue = deque([v])
+        while queue:
+            u = queue.popleft()
+            for w in graph.neighbors(u):
+                if w not in parents:
+                    parents[w] = u
+                    queue.append(w)
+    return parents
+
+
+def _delta_inputs(graph, network):
+    delta = max(1, max((graph.degree(v) for v in graph), default=1))
+    return {v: delta for v in graph}
+
+
+def _ball_inputs(graph, network):
+    return {v: 3 for v in graph}
+
+
+def _reduction_inputs(graph, network):
+    # a proper coloring from identifiers (always proper, palette n)
+    n = graph.number_of_vertices()
+    delta = max(1, max((graph.degree(v) for v in graph), default=1))
+    return {v: (network.identifier_of[v] - 1, n, delta) for v in graph}
+
+
+# every per-node algorithm in the library: (factory, inputs_fn, max_rounds_fn)
+ALGORITHMS = [
+    ("ball-collection", BallCollectionAlgorithm, _ball_inputs, lambda g: 5),
+    ("greedy", GreedyLocalMaximaAlgorithm, _delta_inputs, lambda g: len(g) + 2),
+    ("linial", LinialColoringAlgorithm, _delta_inputs, lambda g: 10_000),
+    ("color-reduction", ColorReductionAlgorithm, _reduction_inputs,
+     lambda g: len(g) + 5),
+]
+
+
+def _assert_identical(result_a, result_b):
+    assert result_a.rounds == result_b.rounds
+    assert result_a.outputs == result_b.outputs
+    assert result_a.messages_sent == result_b.messages_sent
+    assert result_a.per_round_messages == result_b.per_round_messages
+    assert result_a.finished == result_b.finished
+
+
+@pytest.mark.parametrize("graph_name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
+@pytest.mark.parametrize("algo_name,factory,inputs_fn,rounds_fn", ALGORITHMS,
+                         ids=[a[0] for a in ALGORITHMS])
+def test_flat_engine_matches_seed_engine(
+    graph_name, graph, algo_name, factory, inputs_fn, rounds_fn
+):
+    network = Network(graph.freeze())
+    inputs = inputs_fn(graph, network)
+    flat = SynchronousSimulator(network).run(
+        factory, inputs=inputs, max_rounds=rounds_fn(graph), strict=True
+    )
+    seed = ReferenceSimulator(network).run(
+        factory, inputs=inputs, max_rounds=rounds_fn(graph), strict=True
+    )
+    _assert_identical(flat, seed)
+
+
+@pytest.mark.parametrize("graph_name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
+def test_cole_vishkin_parity_all_three_engines(graph_name, graph):
+    """CV on a BFS forest of the graph: seed == flat per-node == batched."""
+    forest_edges = [
+        (v, p) for v, p in _bfs_parents(graph).items() if p is not None
+    ]
+    forest = classic.empty_graph(0)
+    for v in graph:
+        forest.add_vertex(v)
+    forest.add_edges(forest_edges)
+    parents = _bfs_parents(forest)
+    network = Network(forest.freeze())
+    inputs = {
+        v: None if p is None else network.identifier_of[p]
+        for v, p in parents.items()
+    }
+    flat = SynchronousSimulator(network).run(
+        ColeVishkinForestColoring, inputs=inputs, max_rounds=200, strict=True
+    )
+    seed = ReferenceSimulator(network).run(
+        ColeVishkinForestColoring, inputs=inputs, max_rounds=200, strict=True
+    )
+    batch = SynchronousSimulator(network).run(
+        BatchColeVishkinForestColoring, inputs=inputs, max_rounds=200, strict=True
+    )
+    _assert_identical(flat, seed)
+    _assert_identical(batch, flat)
+    for u, p in parents.items():
+        if p is not None:
+            assert flat.outputs[u] != flat.outputs[p]
+        assert 0 <= flat.outputs[u] < 3
+
+
+@pytest.mark.parametrize("graph_name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
+def test_greedy_batched_matches_per_node(graph_name, graph):
+    per_node = greedy_distributed_coloring(graph, batched=False)
+    batched = greedy_distributed_coloring(graph, batched=True)
+    assert batched.rounds == per_node.rounds
+    assert batched.messages == per_node.messages
+    assert batched.coloring == per_node.coloring
+    assert batched.palette_size == per_node.palette_size
+    for u, v in graph.edges():
+        assert batched.coloring[u] != batched.coloring[v]
+
+
+def test_parity_with_shuffled_identifier_order():
+    """Custom identifier orders route through the general fabric path."""
+    graph = sparse.union_of_random_forests(50, 2, seed=11).freeze()
+    order = graph.vertices()
+    order.reverse()
+    network = Network(graph, identifier_order=order)
+    inputs = _delta_inputs(graph, network)
+    flat = SynchronousSimulator(network).run(
+        GreedyLocalMaximaAlgorithm, inputs=inputs, max_rounds=60, strict=True
+    )
+    seed = ReferenceSimulator(network).run(
+        GreedyLocalMaximaAlgorithm, inputs=inputs, max_rounds=60, strict=True
+    )
+    _assert_identical(flat, seed)
+
+
+def test_segment_reduce_trailing_empty_segments():
+    """A trailing degree-0 segment must not truncate the last real one."""
+    numpy = pytest.importorskip("numpy")
+    from repro.local import segment_reduce
+
+    out = segment_reduce(
+        numpy.bitwise_or,
+        numpy.array([1, 2, 4], dtype=numpy.int64),
+        numpy.array([0, 3, 3], dtype=numpy.int64),
+        empty=0,
+    )
+    assert out.tolist() == [7, 0]
+    out = segment_reduce(
+        numpy.maximum,
+        numpy.array([5, 9, 1, 8], dtype=numpy.int64),
+        numpy.array([0, 0, 2, 4, 4, 4], dtype=numpy.int64),
+        empty=-1,
+    )
+    assert out.tolist() == [-1, 9, 8, -1, -1]
+
+
+def test_batched_cole_vishkin_with_trailing_isolated_vertex():
+    """Isolated vertex after a branching vertex: the segment_reduce shape
+    that once truncated the last non-empty neighbourhood."""
+    forest = classic.empty_graph(9)
+    parents = {0: None, 3: 0, 4: 0, 5: 3, 7: 4, 2: 7, 1: 7, 6: 1, 8: None}
+    forest.add_edges((v, p) for v, p in parents.items() if p is not None)
+    network = Network(forest.freeze())
+    inputs = {
+        v: None if p is None else network.identifier_of[p]
+        for v, p in parents.items()
+    }
+    batch = SynchronousSimulator(network).run(
+        BatchColeVishkinForestColoring, inputs=inputs, max_rounds=200, strict=True
+    )
+    per_node = SynchronousSimulator(network).run(
+        ColeVishkinForestColoring, inputs=inputs, max_rounds=200, strict=True
+    )
+    _assert_identical(batch, per_node)
+    for v, p in parents.items():
+        if p is not None:
+            assert batch.outputs[v] != batch.outputs[p]
+
+
+def test_batched_greedy_with_trailing_isolated_vertex():
+    graph = classic.star(5)
+    graph.add_vertex("isolated")
+    per_node = greedy_distributed_coloring(graph, batched=False)
+    batched = greedy_distributed_coloring(graph, batched=True)
+    assert batched.coloring == per_node.coloring
+    assert batched.rounds == per_node.rounds
+
+
+def test_color_rooted_forest_batched_default_equals_per_node():
+    graph = sparse.union_of_random_forests(60, 1, seed=5)
+    parents = _bfs_parents(graph)
+    batched = color_rooted_forest(graph, parents)
+    per_node = color_rooted_forest(graph, parents, batched=False)
+    _assert_identical(batched, per_node)
+
+
+class _DecliningBatch(BatchNodeAlgorithm):
+    """A batch program that always declines, to exercise the fallback."""
+
+    fallback = GreedyLocalMaximaAlgorithm
+
+    def can_run(self, context):
+        return False
+
+
+class _NoFallbackBatch(BatchNodeAlgorithm):
+    def can_run(self, context):
+        return False
+
+
+def test_batch_fallback_runs_per_node_twin():
+    graph = classic.cycle(9)
+    network = Network(graph.freeze())
+    inputs = {v: 2 for v in graph}
+    via_fallback = SynchronousSimulator(network).run(
+        _DecliningBatch, inputs=inputs, max_rounds=20, strict=True
+    )
+    direct = SynchronousSimulator(network).run(
+        GreedyLocalMaximaAlgorithm, inputs=inputs, max_rounds=20, strict=True
+    )
+    _assert_identical(via_fallback, direct)
+
+
+def test_batch_without_fallback_raises():
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="fallback"):
+        run_node_algorithm(classic.cycle(5), _NoFallbackBatch)
+
+
+def test_wide_palette_greedy_falls_back():
+    """Δ + 1 >= 63 exceeds the int64 bit trick: must fall back, not wrap."""
+    graph = classic.star(70)  # center degree 70
+    per_node = greedy_distributed_coloring(graph, batched=False)
+    batched = greedy_distributed_coloring(graph, batched=True)
+    assert batched.coloring == per_node.coloring
+    assert batched.rounds == per_node.rounds
+
+
+class _MonotoneCountdown(NodeAlgorithm):
+    """Finishes after ``input`` rounds; exercises the engine's active set."""
+
+    def initialize(self, context):
+        super().initialize(context)
+        self.remaining = int(context.input)
+
+    def send(self, round_number):
+        if self.remaining <= 0:
+            return {}
+        return {p: "tick" for p in range(self.context.degree)}
+
+    def receive(self, round_number, messages):
+        if self.remaining > 0:
+            self.remaining -= 1
+
+    def is_finished(self):
+        return self.remaining <= 0
+
+
+def test_staggered_termination_parity():
+    """Nodes finishing at different rounds: active-set bookkeeping == seed."""
+    graph = classic.grid_2d(5, 5)
+    network = Network(graph.freeze())
+    inputs = {v: (i % 7) for i, v in enumerate(graph)}
+    flat = SynchronousSimulator(network).run(
+        _MonotoneCountdown, inputs=inputs, max_rounds=20, strict=True
+    )
+    seed = ReferenceSimulator(network).run(
+        _MonotoneCountdown, inputs=inputs, max_rounds=20, strict=True
+    )
+    _assert_identical(flat, seed)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Diff two ``BENCH_*.json`` artifacts: per-row seconds deltas + speedup summary.
+
+Rows are matched by ``(instance, algorithm)``; for every matched row the
+old and new wall times are printed with the delta and the old/new speedup
+factor (> 1 means the new artifact is faster).  The summary reports the
+median and total speedup plus any rows present on only one side.  Both
+artifacts are schema-validated (``repro.scenarios.schema``) before
+diffing.
+
+Usage::
+
+    python tools/bench_diff.py OLD.json NEW.json [--max-regression PCT]
+
+``--max-regression 20`` exits non-zero if any matched row got more than
+20% slower — the knob CI or a perf PR can use as a gate.  Wall times are
+noisy; pair this with ``python -m repro run <scenario> --repeat 3``,
+which records median-of-K times, before trusting small deltas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenarios.schema import validate_artifact  # noqa: E402
+
+
+def load_artifact(path: Path) -> tuple[dict, list[str]]:
+    try:
+        artifact = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return {}, [f"{path}: cannot load artifact: {exc}"]
+    problems = [f"{path}: {p}" for p in validate_artifact(artifact)]
+    return artifact, problems
+
+
+def rows_by_key(artifact: dict) -> dict[tuple[str, str], dict]:
+    return {
+        (row["instance"], row["algorithm"]): row
+        for row in artifact.get("rows", [])
+        if isinstance(row, dict)
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json artifacts (seconds per row, speedups)."
+    )
+    parser.add_argument("old", type=Path, help="baseline artifact")
+    parser.add_argument("new", type=Path, help="candidate artifact")
+    parser.add_argument(
+        "--max-regression", type=float, default=None, metavar="PCT",
+        help="fail if any matched row is more than PCT%% slower",
+    )
+    args = parser.parse_args(argv)
+
+    old_artifact, problems = load_artifact(args.old)
+    new_artifact, new_problems = load_artifact(args.new)
+    problems += new_problems
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 2
+
+    old_rows = rows_by_key(old_artifact)
+    new_rows = rows_by_key(new_artifact)
+    matched = [key for key in old_rows if key in new_rows]
+    only_old = [key for key in old_rows if key not in new_rows]
+    only_new = [key for key in new_rows if key not in old_rows]
+
+    print(f"{args.old.name} ({old_artifact['name']}) -> "
+          f"{args.new.name} ({new_artifact['name']}): "
+          f"{len(matched)} matched row(s)")
+    width = max((len(f"{i} / {a}") for i, a in matched), default=10)
+    print(f"\n{'row'.ljust(width)}  {'old s':>9}  {'new s':>9}  "
+          f"{'delta s':>9}  speedup")
+    speedups: list[float] = []
+    regressions: list[str] = []
+    for key in matched:
+        old_s = float(old_rows[key]["seconds"])
+        new_s = float(new_rows[key]["seconds"])
+        if old_s == new_s == 0:
+            continue  # synthetic rows (derived speedups etc.) carry no timing
+        speedup = old_s / new_s if new_s > 0 else float("inf")
+        speedups.append(speedup)
+        name = f"{key[0]} / {key[1]}"
+        print(f"{name.ljust(width)}  {old_s:>9.4f}  {new_s:>9.4f}  "
+              f"{new_s - old_s:>+9.4f}  {speedup:>6.2f}x")
+        if (
+            args.max_regression is not None
+            and old_s > 0
+            and (new_s - old_s) / old_s * 100 > args.max_regression
+        ):
+            regressions.append(
+                f"{name}: {old_s:.4f}s -> {new_s:.4f}s "
+                f"(+{(new_s - old_s) / old_s * 100:.1f}%)"
+            )
+
+    if speedups:
+        total_old = sum(float(old_rows[k]["seconds"]) for k in matched)
+        total_new = sum(float(new_rows[k]["seconds"]) for k in matched)
+        print(f"\nmedian speedup: {statistics.median(speedups):.2f}x   "
+              f"total: {total_old:.3f}s -> {total_new:.3f}s "
+              f"({total_old / total_new if total_new > 0 else float('inf'):.2f}x)")
+    for key in only_old:
+        print(f"only in {args.old.name}: {key[0]} / {key[1]}")
+    for key in only_new:
+        print(f"only in {args.new.name}: {key[0]} / {key[1]}")
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) regressed beyond "
+              f"{args.max_regression:.0f}%:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
