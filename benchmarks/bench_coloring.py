@@ -1,0 +1,28 @@
+"""E15 — flat palette A/B: now the `coloring` registry scenario.
+
+All generation, measurement and export live in :mod:`repro.scenarios`
+(task in ``tasks.py``, grid and parity checks in ``catalog.py``).  Run it
+with::
+
+    PYTHONPATH=src python -m repro run coloring
+
+This shim keeps the ``build_table()`` entry point of the script-era API
+and makes ``python benchmarks/bench_coloring.py`` equivalent to the CLI
+invocation above.
+"""
+
+from repro.cli import main
+from repro.scenarios import run_scenario
+
+SCENARIO = "coloring"
+
+
+def build_table(**overrides):
+    """Run the scenario inline and return the populated ExperimentRunner."""
+    return run_scenario(
+        SCENARIO, overrides=overrides or None, workers=1, export=False
+    ).runner
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(["run", SCENARIO]))

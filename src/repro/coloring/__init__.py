@@ -1,4 +1,10 @@
-"""Sequential coloring toolkit: list assignments, greedy/exact solvers, Theorem 1.1."""
+"""Sequential coloring toolkit: list assignments, greedy/exact solvers, Theorem 1.1.
+
+The flat palette core (:mod:`repro.coloring.palette`) interns colors to
+dense integers and backs every :class:`ListAssignment` with per-vertex
+bitmasks; the algorithms' set algebra and ``min(..., key=repr)``
+tie-breaks become integer mask operations with identical results.
+"""
 
 from repro.coloring.assignment import (
     Color,
@@ -6,6 +12,7 @@ from repro.coloring.assignment import (
     random_lists,
     uniform_lists,
 )
+from repro.coloring.palette import FlatListAssignment, PaletteUniverse
 from repro.coloring.borodin_ert import degree_list_coloring, extend_partial_coloring
 from repro.coloring.exact import chromatic_number, is_k_colorable, list_coloring_search
 from repro.coloring.greedy import (
@@ -25,7 +32,9 @@ from repro.coloring.verification import (
 
 __all__ = [
     "Color",
+    "FlatListAssignment",
     "ListAssignment",
+    "PaletteUniverse",
     "random_lists",
     "uniform_lists",
     "degree_list_coloring",

@@ -5,11 +5,15 @@ list ``L(v)`` of allowed colors and must pick its color from its own list.
 A ``k``-list-assignment gives every vertex at least ``k`` colors.  Ordinary
 coloring is the special case where all lists are ``{1, ..., k}``.
 
-:class:`ListAssignment` is an immutable-by-convention mapping from vertices
-to color sets with helpers for the operations the algorithms need
-constantly: building uniform or random assignments, removing the colors of
-already-colored neighbours (Observation 5.1), restricting to a vertex
-subset, and validating sizes.
+:class:`ListAssignment` is an immutable mapping from vertices to color sets
+with helpers for the operations the algorithms need constantly: building
+uniform or random assignments, removing the colors of already-colored
+neighbours (Observation 5.1), restricting to a vertex subset, and
+validating sizes.  Since the flat palette refactor it is a thin dict view
+over :class:`~repro.coloring.palette.FlatListAssignment` — colors are
+interned once into a :class:`~repro.coloring.palette.PaletteUniverse` and
+every derivation runs on bitmasks; ``frozenset`` values are materialized
+lazily (and cached) only for callers that ask for them.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from collections.abc import Iterable, Mapping
 from typing import Hashable
 
 from repro.errors import ListAssignmentError
+from repro.coloring.palette import FlatListAssignment
 from repro.graphs.graph import Graph, Vertex
 
 Color = Hashable
@@ -27,67 +32,82 @@ __all__ = ["Color", "ListAssignment", "uniform_lists", "random_lists"]
 
 
 class ListAssignment:
-    """A mapping from vertices to finite sets of allowed colors."""
+    """A mapping from vertices to finite sets of allowed colors.
 
-    __slots__ = ("_lists",)
+    A dict-shaped view over a :class:`FlatListAssignment` backend: the
+    public API (``lists[v]`` returning a ``frozenset``, ``restrict``,
+    ``without_colors``, ...) is unchanged from the historical dict-of-
+    frozensets implementation, but the storage is one interned bitmask per
+    vertex and the derivations are mask operations.  Access the backend
+    through :attr:`flat` for the vectorized kernels.
+    """
 
-    def __init__(self, lists: Mapping[Vertex, Iterable[Color]]):
-        self._lists: dict[Vertex, frozenset[Color]] = {
-            v: frozenset(colors) for v, colors in lists.items()
-        }
+    __slots__ = ("_flat", "_cache")
+
+    def __init__(
+        self, lists: "Mapping[Vertex, Iterable[Color]] | FlatListAssignment"
+    ):
+        if isinstance(lists, FlatListAssignment):
+            self._flat = lists
+        elif isinstance(lists, ListAssignment):
+            self._flat = lists._flat
+        else:
+            self._flat = FlatListAssignment(lists)
+        self._cache: dict[Vertex, frozenset[Color]] = {}
+
+    @property
+    def flat(self) -> FlatListAssignment:
+        """The bitmask backend (shared, immutable by convention)."""
+        return self._flat
 
     # -- access ---------------------------------------------------------
     def __getitem__(self, v: Vertex) -> frozenset[Color]:
-        try:
-            return self._lists[v]
-        except KeyError as exc:
-            raise ListAssignmentError(f"vertex {v!r} has no list") from exc
+        cached = self._cache.get(v)
+        if cached is None:
+            cached = self._flat[v]  # raises ListAssignmentError when absent
+            self._cache[v] = cached
+        return cached
 
     def __contains__(self, v: Vertex) -> bool:
-        return v in self._lists
+        return v in self._flat
 
     def __iter__(self):
-        return iter(self._lists)
+        return iter(self._flat)
 
     def __len__(self) -> int:
-        return len(self._lists)
+        return len(self._flat)
 
-    def get(self, v: Vertex, default: frozenset[Color] = frozenset()) -> frozenset[Color]:
-        return self._lists.get(v, default)
+    def get(
+        self, v: Vertex, default: frozenset[Color] | None = None
+    ) -> frozenset[Color]:
+        """The list of ``v``, or ``default`` (a fresh empty frozenset if unset)."""
+        if v not in self._flat:
+            return frozenset() if default is None else default
+        return self[v]
 
     def vertices(self) -> list[Vertex]:
-        return list(self._lists)
+        return self._flat.vertices()
 
     def as_dict(self) -> dict[Vertex, frozenset[Color]]:
-        return dict(self._lists)
+        return self._flat.as_dict()
 
     def minimum_size(self) -> int:
-        if not self._lists:
-            return 0
-        return min(len(colors) for colors in self._lists.values())
+        return self._flat.minimum_size()
 
     def palette(self) -> frozenset[Color]:
         """The union of all lists."""
-        result: set[Color] = set()
-        for colors in self._lists.values():
-            result |= colors
-        return frozenset(result)
+        return self._flat.palette()
 
     # -- derivation -----------------------------------------------------
     def restrict(self, vertices: Iterable[Vertex]) -> "ListAssignment":
         """The assignment restricted to the given vertices (missing ones dropped)."""
-        keep = set(vertices)
-        return ListAssignment({v: c for v, c in self._lists.items() if v in keep})
+        return ListAssignment(self._flat.restrict(vertices))
 
     def without_colors(
         self, removals: Mapping[Vertex, Iterable[Color]]
     ) -> "ListAssignment":
         """Remove, per vertex, the given colors (e.g. colors of colored neighbours)."""
-        new = dict(self._lists)
-        for v, colors in removals.items():
-            if v in new:
-                new[v] = new[v] - frozenset(colors)
-        return ListAssignment(new)
+        return ListAssignment(self._flat.without_colors(removals))
 
     def pruned_by_coloring(
         self, graph: Graph, coloring: Mapping[Vertex, Color]
@@ -98,13 +118,7 @@ class ListAssignment:
         most ``d`` in ``graph``, then after the pruning its list is at least
         as large as its number of uncolored neighbours.
         """
-        new: dict[Vertex, frozenset[Color]] = {}
-        for v, colors in self._lists.items():
-            if v in coloring:
-                continue
-            used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
-            new[v] = colors - used
-        return ListAssignment(new)
+        return ListAssignment(self._flat.pruned_by_coloring(graph, coloring))
 
     def truncated(self, size: int) -> "ListAssignment":
         """Keep only ``size`` colors per list (deterministically, by sorted repr).
@@ -112,29 +126,24 @@ class ListAssignment:
         Used to normalise lists to exactly the guaranteed size, which keeps
         the constructive Borodin–ERT case analysis tight.
         """
-        new = {}
-        for v, colors in self._lists.items():
-            ordered = sorted(colors, key=repr)
-            new[v] = frozenset(ordered[: max(size, 0)]) if len(ordered) > size else colors
-        return ListAssignment(new)
+        return ListAssignment(self._flat.truncated(size))
 
     # -- validation -----------------------------------------------------
     def require_minimum(self, graph: Graph, k: int) -> None:
         """Raise unless every vertex of ``graph`` has a list of size >= k."""
+        flat = self._flat
         for v in graph:
-            if len(self.get(v)) < k:
+            if flat.size_of(v) < k:
                 raise ListAssignmentError(
-                    f"vertex {v!r} has a list of size {len(self.get(v))} < {k}"
+                    f"vertex {v!r} has a list of size {flat.size_of(v)} < {k}"
                 )
 
     def covers(self, graph: Graph) -> bool:
         """Whether every vertex of ``graph`` has a (possibly empty) list."""
-        return all(v in self._lists for v in graph)
+        return self._flat.covers(graph)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        sizes = sorted(len(c) for c in self._lists.values())
-        smallest = sizes[0] if sizes else 0
-        return f"<ListAssignment |V|={len(self._lists)} min|L|={smallest}>"
+        return f"<ListAssignment |V|={len(self._flat)} min|L|={self.minimum_size()}>"
 
 
 def uniform_lists(graph: Graph, k: int, palette: Iterable[Color] | None = None) -> ListAssignment:
@@ -150,17 +159,22 @@ def random_lists(
     k: int,
     palette_size: int | None = None,
     seed: int | None = None,
+    rng: random.Random | None = None,
 ) -> ListAssignment:
     """Every vertex gets ``k`` colors drawn at random from a shared palette.
 
     ``palette_size`` defaults to ``2 k``, which makes lists overlap enough
-    for the instances to be interesting but not identical.
+    for the instances to be interesting but not identical.  Randomness
+    comes from the explicit ``rng`` (or a ``random.Random(seed)`` built
+    here) — never from the module-global generator — so scenario runs stay
+    reproducible at any ``--workers`` setting.
     """
     if palette_size is None:
         palette_size = 2 * k
     if palette_size < k:
         raise ListAssignmentError("palette_size must be at least k")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     palette = list(range(1, palette_size + 1))
     return ListAssignment(
         {v: frozenset(rng.sample(palette, k)) for v in graph}

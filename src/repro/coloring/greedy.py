@@ -12,7 +12,9 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.coloring.assignment import Color, ListAssignment
+from repro.coloring.palette import FlatListAssignment
 from repro.errors import ColoringError
+from repro.graphs.frozen import FrozenGraph
 from repro.graphs.graph import Graph, Vertex
 from repro.graphs.properties.degeneracy import degeneracy_ordering
 
@@ -35,11 +37,39 @@ def greedy_coloring(
     graph: Graph, order: Sequence[Vertex] | None = None
 ) -> dict[Vertex, Color]:
     """Greedy coloring with colors ``1, 2, ...`` along ``order`` (default: insertion)."""
+    if isinstance(graph, FrozenGraph):
+        return _greedy_coloring_csr(graph, order)
     coloring: dict[Vertex, Color] = {}
     for v in order if order is not None else graph.vertices():
         used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
         coloring[v] = _first_free_color(used)
     return coloring
+
+
+def _greedy_coloring_csr(
+    graph: FrozenGraph, order: Sequence[Vertex] | None
+) -> dict[Vertex, Color]:
+    """Array fast path of :func:`greedy_coloring` (identical colors).
+
+    Works in CSR index space with one used-color bitmask per step — the
+    smallest free color is the lowest zero bit, exactly the value the
+    ``while color in used`` scan returns — so no per-vertex set is built.
+    """
+    offsets, neighbors = graph.csr_lists()
+    labels = graph.vertices()
+    index = graph._index
+    colors = [0] * len(labels)  # 0 = uncolored
+    sequence = range(len(labels)) if order is None else [index[v] for v in order]
+    for i in sequence:
+        used = 0
+        for k in range(offsets[i], offsets[i + 1]):
+            c = colors[neighbors[k]]
+            if c:
+                used |= 1 << (c - 1)
+        colors[i] = (~used & (used + 1)).bit_length()
+    if order is None:
+        return {labels[i]: colors[i] for i in range(len(labels))}
+    return {v: colors[index[v]] for v in order}
 
 
 def degeneracy_greedy_coloring(graph: Graph) -> dict[Vertex, Color]:
@@ -82,6 +112,9 @@ def greedy_list_coloring(
     reproducible.  ``partial`` pre-assigns colors to some vertices (they are
     kept and never re-colored).
     """
+    flat = lists.flat if isinstance(lists, ListAssignment) else None
+    if isinstance(graph, FrozenGraph) and flat is not None:
+        return _greedy_list_coloring_csr(graph, lists, flat, order, partial)
     coloring: dict[Vertex, Color] = dict(partial or {})
     for v in order if order is not None else graph.vertices():
         if v in coloring:
@@ -94,4 +127,51 @@ def greedy_list_coloring(
                 f"list {sorted(map(repr, lists[v]))} exhausted by neighbours"
             )
         coloring[v] = min(available, key=repr)
+    return coloring
+
+
+def _greedy_list_coloring_csr(
+    graph: FrozenGraph,
+    lists: ListAssignment,
+    flat: FlatListAssignment,
+    order: Sequence[Vertex] | None,
+    partial: Mapping[Vertex, Color] | None,
+) -> dict[Vertex, Color]:
+    """Mask fast path of :func:`greedy_list_coloring` (identical colors).
+
+    The universe's repr-sorted interning makes the lowest set bit of
+    ``L(v) & ~used`` the exact ``min(available, key=repr)`` pick.  Colors
+    outside the universe (possible in ``partial``) cannot block any list
+    color, matching the set-difference semantics.
+    """
+    offsets, neighbors = graph.csr_lists()
+    index = graph._index
+    universe = flat.universe
+    get_index = universe.get_index
+    color_of = universe.color_of
+    color_idx = [-1] * len(graph)
+    coloring: dict[Vertex, Color] = dict(partial or {})
+    for v, color in coloring.items():
+        i = index.get(v)
+        if i is not None:
+            color_idx[i] = get_index(color)
+    mask_of = flat.mask_of
+    for v in order if order is not None else graph.vertices():
+        if v in coloring:
+            continue
+        i = index[v]
+        used = 0
+        for k in range(offsets[i], offsets[i + 1]):
+            c = color_idx[neighbors[k]]
+            if c >= 0:
+                used |= 1 << c
+        free = mask_of(v) & ~used
+        if not free:
+            raise ColoringError(
+                f"greedy list-coloring stuck at vertex {v!r}: "
+                f"list {sorted(map(repr, lists[v]))} exhausted by neighbours"
+            )
+        bit = (free & -free).bit_length() - 1
+        coloring[v] = color_of(bit)
+        color_idx[i] = bit
     return coloring

@@ -4,6 +4,12 @@ Every algorithm in the library is checked against these predicates in the
 test suite and at the end of each benchmark run: a coloring is accepted only
 if it is *complete* (every vertex colored), *proper* (no monochromatic
 edge) and, in the list setting, *respects the lists*.
+
+On a :class:`~repro.graphs.frozen.FrozenGraph` the properness check runs
+as one vectorized comparison over the CSR arrays (the per-edge loop is
+kept for mutable graphs and for producing the exact offending edge in the
+error message), and the list check reads the interned bitmasks of the
+flat palette backend instead of materializing ``frozenset`` values.
 """
 
 from __future__ import annotations
@@ -11,8 +17,15 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.coloring.assignment import Color, ListAssignment
+from repro.coloring.palette import FlatListAssignment
 from repro.errors import ColoringError
+from repro.graphs.frozen import HAS_NUMPY, FrozenGraph
 from repro.graphs.graph import Graph, Vertex
+
+if HAS_NUMPY:
+    import numpy as _np
+else:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None
 
 __all__ = [
     "is_proper_coloring",
@@ -23,14 +36,54 @@ __all__ = [
     "number_of_colors",
 ]
 
+#: below this size the vectorized properness check costs more than it saves
+_VECTORIZE_MIN_VERTICES = 128
+
 
 def is_complete(graph: Graph, coloring: Mapping[Vertex, Color]) -> bool:
     """Whether every vertex of ``graph`` has a color."""
     return all(v in coloring for v in graph)
 
 
+def _proper_fast(graph, coloring) -> bool | None:
+    """Vectorized properness check; ``None`` when the fast path is off.
+
+    Colors are interned to dense codes (uncolored vertices get a sentinel
+    that never matches), and the edge test is one gather-and-compare over
+    the CSR arrays.
+    """
+    if (
+        _np is None
+        or not isinstance(graph, FrozenGraph)
+        or not graph._use_numpy
+        or len(graph) < _VECTORIZE_MIN_VERTICES
+    ):
+        return None
+    labels = graph.vertices()
+    codes: dict[Color, int] = {}
+    arr = _np.empty(len(labels), dtype=_np.int64)
+    get = coloring.get
+    for i, v in enumerate(labels):
+        color = get(v)
+        if color is None and v not in coloring:
+            arr[i] = -1 - i  # unique sentinel: uncolored never conflicts
+            continue
+        code = codes.get(color)
+        if code is None:
+            code = len(codes)
+            codes[color] = code
+        arr[i] = code
+    offsets, neighbors = graph.csr_arrays()
+    degrees = _np.diff(offsets)
+    src = _np.repeat(_np.arange(len(labels), dtype=_np.int64), degrees)
+    return not bool((arr[src] == arr[neighbors]).any())
+
+
 def is_proper_coloring(graph: Graph, coloring: Mapping[Vertex, Color]) -> bool:
     """Whether no edge of ``graph`` is monochromatic (uncolored vertices ignored)."""
+    fast = _proper_fast(graph, coloring)
+    if fast is not None:
+        return fast
     for u, v in graph.edges():
         if u in coloring and v in coloring and coloring[u] == coloring[v]:
             return False
@@ -41,7 +94,24 @@ def respects_lists(
     coloring: Mapping[Vertex, Color], lists: ListAssignment
 ) -> bool:
     """Whether every colored vertex uses a color from its own list."""
+    flat = _flat_of(lists)
+    if flat is not None:
+        get_index = flat.universe.get_index
+        mask_of = flat.mask_of
+        for v, color in coloring.items():
+            if v not in flat:
+                continue
+            i = get_index(color)
+            if i < 0 or not mask_of(v) >> i & 1:
+                return False
+        return True
     return all(color in lists.get(v) for v, color in coloring.items() if v in lists)
+
+
+def _flat_of(lists) -> FlatListAssignment | None:
+    if isinstance(lists, FlatListAssignment):
+        return lists
+    return getattr(lists, "flat", None)
 
 
 def number_of_colors(coloring: Mapping[Vertex, Color]) -> int:
@@ -54,6 +124,8 @@ def verify_coloring(graph: Graph, coloring: Mapping[Vertex, Color]) -> None:
     if not is_complete(graph, coloring):
         missing = [v for v in graph if v not in coloring][:5]
         raise ColoringError(f"coloring is incomplete; e.g. missing {missing!r}")
+    if _proper_fast(graph, coloring):
+        return  # the scan below only runs to name the offending edge
     for u, v in graph.edges():
         if coloring[u] == coloring[v]:
             raise ColoringError(
@@ -66,6 +138,21 @@ def verify_list_coloring(
 ) -> None:
     """Raise unless the coloring is complete, proper, and within the lists."""
     verify_coloring(graph, coloring)
+    flat = _flat_of(lists)
+    if flat is not None:
+        get_index = flat.universe.get_index
+        mask_of = flat.mask_of
+        for v, color in coloring.items():
+            if v not in flat:
+                continue
+            i = get_index(color)
+            if i >= 0 and mask_of(v) >> i & 1:
+                continue
+            raise ColoringError(
+                f"vertex {v!r} uses color {color!r} outside its list "
+                f"{sorted(map(repr, lists[v]))}"
+            )
+        return
     for v, color in coloring.items():
         if v in lists and color not in lists[v]:
             raise ColoringError(

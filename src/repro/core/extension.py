@@ -34,7 +34,9 @@ from dataclasses import dataclass, field
 
 from repro.coloring.assignment import Color, ListAssignment
 from repro.coloring.borodin_ert import degree_list_coloring
-from repro.errors import ColoringError
+from repro.coloring.palette import FlatListAssignment
+from repro.errors import ColoringError, ListAssignmentError
+from repro.graphs.frozen import FrozenGraph
 from repro.graphs.graph import Graph, Vertex
 from repro.local.ledger import RoundLedger
 from repro.distributed.linial import delta_plus_one_coloring
@@ -63,6 +65,7 @@ def extend_coloring_to_happy_set(
     radius: int,
     d: int,
     ledger: RoundLedger | None = None,
+    backend: str = "dict",
 ) -> tuple[dict[Vertex, Color], ExtensionReport]:
     """Extend ``coloring`` (defined on ``graph`` minus ``happy``) to all of ``graph``.
 
@@ -83,6 +86,13 @@ def extend_coloring_to_happy_set(
         The rich-ball radius used by the classification.
     d:
         The color budget (only used for the size of the stable partition).
+    backend:
+        ``"dict"`` runs the historical per-vertex set algebra; ``"flat"``
+        (frozen graphs) runs the same phases on the flat substrate — CSR
+        ruling probes, the batched Linial/color-reduction stable
+        partition, and bitmask pruning/tie-breaks over the interned
+        palette.  Colorings and charged rounds are identical between the
+        two (the parity suite asserts it).
 
     Returns
     -------
@@ -92,13 +102,17 @@ def extend_coloring_to_happy_set(
     report = ExtensionReport(roots=0, tree_vertices=0, recolored_sad_vertices=0, rounds=0, ledger=ledger)
     if not happy:
         return dict(coloring), report
+    use_flat = backend == "flat" and isinstance(graph, FrozenGraph)
 
     rich_graph = graph.subgraph(rich)
     # Roots must be far enough apart that their rich balls are disjoint and
     # non-adjacent: distance >= 2*radius + 2 suffices.
     alpha = 2 * radius + 2
     identifiers = {v: i + 1 for i, v in enumerate(graph.vertices())}
-    forest = ruling_forest(rich_graph, set(happy), alpha, identifiers=identifiers)
+    forest = ruling_forest(
+        rich_graph, set(happy), alpha, identifiers=identifiers,
+        engine="csr" if use_flat else "labels",
+    )
     ledger.charge(
         "Lemma 3.2: ruling forest",
         forest.rounds,
@@ -125,27 +139,50 @@ def extend_coloring_to_happy_set(
     tree_graph = graph.subgraph(tree_vertices)
 
     # Stable partition of H = G[T] into at most d+1 classes.
-    stable = delta_plus_one_coloring(tree_graph, max_degree=d)
+    stable = delta_plus_one_coloring(tree_graph, max_degree=d, batched=use_flat)
     ledger.charge(
         "Lemma 3.2: (d+1) stable partition of the trees",
         stable.rounds,
         reference="Linial + color reduction (paper quotes GPS [17])",
     )
 
+    # The flat path tracks the coloring twice: the label dict (the public
+    # result) and an interned color-index array over the CSR indices that
+    # the mask kernels read and write.
+    flat_state: _FlatColoringState | None = None
+    if use_flat:
+        flat_state = _FlatColoringState(graph, lists.flat, new_coloring)
+
     # Layered coloring: deepest tree layer first, one stable class at a time.
     max_depth = max(forest.depth.values(), default=0)
     layer_rounds = 0
+    buckets: dict[tuple[int, int], list[Vertex]] | None = None
+    if flat_state is not None:
+        # one grouping pass instead of a tree scan per (depth, class) pair;
+        # every vertex sits in exactly one bucket, so the batches (and
+        # their order) match the scan
+        buckets = {}
+        for v in tree_vertices:
+            if v in uncolored:
+                key = (forest.depth[v], stable.coloring.get(v))
+                buckets.setdefault(key, []).append(v)
     for depth in range(max_depth, 0, -1):
         for stable_class in range(d + 1):
-            batch = [
-                v
-                for v in tree_vertices
-                if forest.depth[v] == depth
-                and stable.coloring.get(v) == stable_class
-                and v in uncolored
-            ]
+            if buckets is not None:
+                batch = buckets.get((depth, stable_class), [])
+            else:
+                batch = [
+                    v
+                    for v in tree_vertices
+                    if forest.depth[v] == depth
+                    and stable.coloring.get(v) == stable_class
+                    and v in uncolored
+                ]
             if batch:
-                _color_batch(graph, lists, new_coloring, batch)
+                if flat_state is not None:
+                    flat_state.color_batch(new_coloring, batch)
+                else:
+                    _color_batch(graph, lists, new_coloring, batch)
                 for v in batch:
                     uncolored.discard(v)
             layer_rounds += 1
@@ -162,24 +199,33 @@ def extend_coloring_to_happy_set(
         for v in ball:
             if v in new_coloring:
                 del new_coloring[v]
+                if flat_state is not None:
+                    flat_state.uncolor(v)
                 if v not in happy:
                     report.recolored_sad_vertices += 1
-        pruned: dict[Vertex, frozenset] = {}
-        for v in ball:
-            used = {
-                new_coloring[u]
-                for u in graph.neighbors(v)
-                if u in new_coloring and u not in ball
-            }
-            pruned[v] = lists[v] - used
+        if flat_state is not None:
+            ball_lists = flat_state.pruned_ball_lists(ball)
+        else:
+            pruned: dict[Vertex, frozenset] = {}
+            for v in ball:
+                used = {
+                    new_coloring[u]
+                    for u in graph.neighbors(v)
+                    if u in new_coloring and u not in ball
+                }
+                pruned[v] = lists[v] - used
+            ball_lists = ListAssignment(pruned)
         ball_graph = graph.subgraph(ball)
         try:
-            ball_coloring = degree_list_coloring(ball_graph, ListAssignment(pruned))
+            ball_coloring = degree_list_coloring(ball_graph, ball_lists)
         except ColoringError as exc:
             raise ColoringError(
                 f"Theorem 1.1 extension failed on the rich ball of root {root!r}: {exc}"
             ) from exc
         new_coloring.update(ball_coloring)
+        if flat_state is not None:
+            for v, color in ball_coloring.items():
+                flat_state.set_color(v, color)
         for v in ball:
             uncolored.discard(v)
         ball_rounds = max(ball_rounds, 2 * radius)
@@ -196,6 +242,99 @@ def extend_coloring_to_happy_set(
         )
     report.rounds = ledger.total()
     return new_coloring, report
+
+
+class _FlatColoringState:
+    """Interned mirror of a partial coloring over a frozen graph's indices.
+
+    Keeps ``color_index[i]`` (the palette-universe index of the color of
+    the vertex at CSR index ``i``, or ``-1``) in sync with the label dict,
+    so the hot kernels — layered tree coloring, Observation 5.1 pruning on
+    the root balls — run as integer mask ops over the CSR arrays instead
+    of per-vertex set algebra.  Tie-breaks read the lowest set bit, which
+    by the universe's repr-sorted interning equals the dict pipeline's
+    ``min(available, key=repr)``.
+    """
+
+    __slots__ = ("graph", "lists", "universe", "color_index",
+                 "_offsets", "_neighbors", "_index")
+
+    def __init__(
+        self,
+        graph: FrozenGraph,
+        lists: FlatListAssignment,
+        coloring: dict[Vertex, Color],
+    ):
+        self.graph = graph
+        self.lists = lists
+        self.universe = lists.universe
+        self._offsets, self._neighbors = graph.csr_lists()
+        self._index = graph._index
+        get_index = self.universe.get_index
+        self.color_index = [-1] * len(graph)
+        for v, color in coloring.items():
+            i = self._index.get(v)
+            if i is not None:
+                self.color_index[i] = get_index(color)
+
+    def uncolor(self, v: Vertex) -> None:
+        self.color_index[self._index[v]] = -1
+
+    def set_color(self, v: Vertex, color: Color) -> None:
+        self.color_index[self._index[v]] = self.universe.get_index(color)
+
+    def _used_mask(self, i: int, skip=None) -> int:
+        """OR of the color bits of ``i``'s colored neighbours (skipping a set)."""
+        used = 0
+        color_index = self.color_index
+        neighbors = self._neighbors
+        for k in range(self._offsets[i], self._offsets[i + 1]):
+            j = neighbors[k]
+            if skip is not None and j in skip:
+                continue
+            c = color_index[j]
+            if c >= 0:
+                used |= 1 << c
+        return used
+
+    def color_batch(
+        self, coloring: dict[Vertex, Color], batch: list[Vertex]
+    ) -> None:
+        """Flat twin of :func:`_color_batch` (identical picks).
+
+        The batch is a stable set, so the used masks of all members are
+        independent and the picks go through the palette's
+        :meth:`~repro.coloring.palette.FlatListAssignment.first_free_colors`
+        batch kernel in one call.
+        """
+        index = self._index
+        indices = [index[v] for v in batch]
+        used = [self._used_mask(i) for i in indices]
+        try:
+            picks = self.lists.first_free_colors(batch, used)
+        except ListAssignmentError as exc:
+            raise ColoringError(
+                f"layered tree coloring ran out of colors ({exc}); "
+                "this indicates a violated invariant of Lemma 3.2"
+            ) from exc
+        get_index = self.universe.get_index
+        for v, i, color in zip(batch, indices, picks):
+            coloring[v] = color
+            self.color_index[i] = get_index(color)
+
+    def pruned_ball_lists(self, ball: set[Vertex]) -> ListAssignment:
+        """Observation 5.1 pruning of a root ball, as mask operations."""
+        index = self._index
+        ball_idx = {index[v] for v in ball}
+        vertices = []
+        masks = []
+        mask_of = self.lists.mask_of
+        for v in ball:
+            vertices.append(v)
+            masks.append(mask_of(v) & ~self._used_mask(index[v], skip=ball_idx))
+        return ListAssignment(
+            FlatListAssignment.from_masks(self.universe, vertices, masks)
+        )
 
 
 def _color_batch(

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.graphs.frozen import GraphLike
+from repro.graphs.frozen import FrozenGraph, GraphLike
 from repro.graphs.graph import Vertex
 from repro.graphs.properties.gallai import is_gallai_forest
 
@@ -95,6 +95,7 @@ def classify_vertices(
     radius: int | None = None,
     slack_vertices: set[Vertex] | None = None,
     rich_vertices: set[Vertex] | None = None,
+    engine: str = "scan",
 ) -> VertexClassification:
     """Classify the vertices of ``graph`` for the parameter ``d``.
 
@@ -115,6 +116,12 @@ def classify_vertices(
         strictly larger than their degree.
     rich_vertices:
         Overrides the rich set.  Theorem 6.1 passes all vertices.
+    engine:
+        ``"scan"`` (the historical per-vertex ball walk) or ``"flat"``
+        (one multi-source BFS from the slack set over the rich subgraph's
+        CSR arrays; Gallai-only corner cases keep the scan semantics).
+        Both engines produce identical sets — the flat backend of the
+        Theorem 1.3 driver relies on it.
 
     Returns
     -------
@@ -132,6 +139,11 @@ def classify_vertices(
 
     classification = VertexClassification(poor=poor, radius=radius)
     rich_graph = graph.subgraph(rich_vertices)
+    if engine == "flat" and isinstance(rich_graph, FrozenGraph):
+        _classify_flat(rich_graph, slack_vertices, radius, classification)
+        return classification
+    if engine not in ("scan", "flat"):
+        raise ValueError(f"unknown classification engine {engine!r}")
 
     for component in rich_graph.connected_components():
         component_graph = rich_graph.subgraph(component)
@@ -163,3 +175,69 @@ def classify_vertices(
             else:
                 classification.sad.add(v)
     return classification
+
+
+def _classify_flat(
+    rich_graph: FrozenGraph,
+    slack_vertices: set[Vertex],
+    radius: int,
+    classification: VertexClassification,
+) -> None:
+    """Happy/sad split of the rich subgraph via one multi-source BFS.
+
+    A rich vertex whose rich ball contains a slack witness is exactly a
+    vertex at distance at most ``radius`` from the slack set *inside the
+    rich subgraph* — one depth-limited multi-source BFS over the CSR
+    arrays answers that for all vertices at once, replacing the per-vertex
+    ball walks of the scan engine.  The vertices the BFS does not settle
+    (no slack witness in reach) fall back to the scan engine's exact
+    Gallai logic: a whole component without any witness is sad, and the
+    rare leftover vertices get their individual ball's Gallai check.
+    """
+    labels = rich_graph.vertices()
+    index_of = rich_graph._index
+    sources = sorted(
+        index_of[v] for v in slack_vertices if v in index_of
+    )
+    reached = bytearray(len(labels))
+    for frontier in rich_graph.multi_source_levels(sources, radius):
+        for i in frontier:
+            reached[i] = 1
+    happy = classification.happy
+    sad = classification.sad
+    unreached: list[Vertex] = []
+    for i, v in enumerate(labels):
+        if reached[i]:
+            happy.add(v)
+        else:
+            unreached.append(v)
+    if not unreached:
+        return
+    pending = set(unreached)
+    for component in rich_graph.connected_components():
+        leftover = component & pending
+        if not leftover:
+            continue
+        component_graph = rich_graph.subgraph(component)
+        has_slack = bool(component & slack_vertices)
+        component_is_gallai: bool | None = None
+        if not has_slack:
+            component_is_gallai = is_gallai_forest(component_graph)
+            if component_is_gallai:
+                # certified-sad shortcut: every ball is an induced connected
+                # subgraph of a Gallai tree with no slack vertex
+                sad |= component
+                continue
+        component_size = len(component)
+        for v in leftover:
+            ball = component_graph.ball(v, radius)
+            if len(ball) == component_size:
+                gallai = component_is_gallai
+                if gallai is None:
+                    component_is_gallai = gallai = is_gallai_forest(component_graph)
+            else:
+                gallai = is_gallai_forest(component_graph.subgraph(ball))
+            if not gallai:
+                happy.add(v)
+            else:
+                sad.add(v)

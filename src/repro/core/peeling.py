@@ -71,6 +71,7 @@ def peel_happy_layers(
     slack_fn=None,
     rich_fn=None,
     max_layers: int | None = None,
+    backend: str = "dict",
 ) -> PeelingResult:
     """Peel happy sets until the graph is empty.
 
@@ -90,12 +91,18 @@ def peel_happy_layers(
         low-degree-witness and rich sets (used by Theorem 6.1).
     max_layers:
         Safety cap on the number of layers (defaults to ``4 n``).
+    backend:
+        ``"dict"`` classifies with the per-vertex scan engine; ``"flat"``
+        uses the multi-source-BFS engine of
+        :func:`~repro.core.happy.classify_vertices` (identical layers, the
+        flat palette pipeline's fast path).
 
     Returns
     -------
     PeelingResult
     """
     n = graph.number_of_vertices()
+    engine = "flat" if backend == "flat" else "scan"
     use_frozen = isinstance(graph, FrozenGraph)
     working = graph if use_frozen else graph.copy()
     result = PeelingResult()
@@ -118,6 +125,7 @@ def peel_happy_layers(
                 radius=current_radius,
                 slack_vertices=slack_fn(working) if slack_fn else None,
                 rich_vertices=rich_fn(working) if rich_fn else None,
+                engine=engine,
             )
             result.ledger.charge(
                 "Lemma 3.1: rich-ball collection",

@@ -46,6 +46,8 @@ from repro.distributed.greedy_baseline import (
     greedy_distributed_coloring,
 )
 from repro.distributed.linial import (
+    BatchColorReductionAlgorithm,
+    BatchLinialColoringAlgorithm,
     ColorReductionAlgorithm,
     DistributedColoringResult,
     LinialColoringAlgorithm,
@@ -70,6 +72,8 @@ __all__ = [
     "BatchGreedyLocalMaximaAlgorithm",
     "GreedyLocalMaximaAlgorithm",
     "greedy_distributed_coloring",
+    "BatchColorReductionAlgorithm",
+    "BatchLinialColoringAlgorithm",
     "ColorReductionAlgorithm",
     "DistributedColoringResult",
     "LinialColoringAlgorithm",

@@ -22,6 +22,21 @@ Procedure:
 
 Rounds are charged per phase to a ledger: the measured rounds of the slot
 coloring runs plus one round per slot per class plus the partition rounds.
+
+Two substrates implement the procedure:
+
+* ``backend="dict"`` — the historical per-vertex loops (H-partition over
+  label sets, sequential slot sweeps);
+* ``backend="flat"`` — the same schedule on the flat machinery: a
+  vectorized peel for the H-partition, the batched Linial/color-reduction
+  ports for the per-class slots, and :class:`BatchSlotColorSelection` — a
+  genuine :class:`~repro.local.node.BatchNodeAlgorithm` that runs the
+  whole slot phase on the flat round engine, one numpy array per round.
+  On a frozen input graph both backends produce the identical coloring and
+  charge identical rounds (identifier assignment follows the CSR vertex
+  order either way); on a mutable graph the class subgraph orderings — and
+  hence the exact colors — may differ while palette and validity are
+  unchanged.
 """
 
 from __future__ import annotations
@@ -30,13 +45,25 @@ import math
 from dataclasses import dataclass, field
 
 from repro.coloring.assignment import Color
-from repro.errors import ColoringError
+from repro.errors import ColoringError, SimulationError
+from repro.graphs.frozen import HAS_NUMPY, freeze
 from repro.graphs.graph import Graph, Vertex
 from repro.local.ledger import RoundLedger
+from repro.local.node import (
+    BatchContext,
+    BatchNodeAlgorithm,
+    lowest_free_bit,
+    segment_reduce,
+)
+from repro.local.simulator import run_node_algorithm
 from repro.distributed.forest_decomposition import HPartition, h_partition
 from repro.distributed.linial import delta_plus_one_coloring
 
-__all__ = ["BarenboimElkinResult", "barenboim_elkin_coloring"]
+__all__ = [
+    "BarenboimElkinResult",
+    "BatchSlotColorSelection",
+    "barenboim_elkin_coloring",
+]
 
 
 @dataclass
@@ -51,13 +78,180 @@ class BarenboimElkinResult:
     ledger: RoundLedger = field(default_factory=RoundLedger)
 
 
+class BatchSlotColorSelection(BatchNodeAlgorithm):
+    """The slot phase of Barenboim–Elkin as a batched node program.
+
+    Input (per node): ``(class_index, slot, palette_size)``.  The global
+    schedule — classes in decreasing order, slots ``0..max_slot`` within
+    each class — is a deterministic function of the inputs, so every node
+    (and the one batched instance driving them) derives it locally.  In
+    round ``r`` the scheduled ``(class, slot)`` cohort — a stable set, the
+    slots being a proper coloring of their class — simultaneously picks
+    the smallest palette color not used by a colored neighbour, while all
+    nodes broadcast their current color (0 encodes "uncolored").  This is
+    exactly the sequential sweep of the dict backend; one simulator round
+    per (class, slot) pair keeps the charged-round accounting identical.
+
+    The free-color pick uses an int64 bit trick, so ``palette_size < 63``
+    is required; the real Barenboim–Elkin palettes (``(2+ε)a + 1``) are
+    far below that.  There is no per-node fallback — the dict backend *is*
+    the fallback, and :func:`barenboim_elkin_coloring` routes to it when
+    numpy is unavailable.
+    """
+
+    fallback = None
+
+    def can_run(self, context: BatchContext) -> bool:
+        inputs = context.inputs
+        if not inputs:
+            return False
+        palettes = {p for (_c, _s, p) in inputs}
+        # < 62, not < 63: on an underestimated arboricity a node can see
+        # all palette colors used, and lowest_free_bit needs bit 62 clear
+        # in that saturated mask to report the out-of-palette overflow
+        return len(palettes) == 1 and max(palettes) < 62
+
+    def initialize_batch(self, context: BatchContext) -> None:
+        import numpy as np
+
+        super().initialize_batch(context)
+        self._np = np
+        inputs = context.inputs
+        self.class_of = np.asarray([c for (c, _s, _p) in inputs], dtype=np.int64)
+        self.slot_of = np.asarray([s for (_c, s, _p) in inputs], dtype=np.int64)
+        self.palette_size = int(inputs[0][2]) if inputs else 0
+        # schedule: classes from the last down to 0, slots ascending within
+        # each class (slot counts per class come from the slot coloring)
+        schedule: list[tuple[int, int]] = []
+        if len(inputs):
+            for class_index in range(int(self.class_of.max()), -1, -1):
+                members = self.slot_of[self.class_of == class_index]
+                slot_count = int(members.max()) + 1 if members.size else 1
+                schedule.extend(
+                    (class_index, slot) for slot in range(slot_count)
+                )
+        self.schedule = schedule
+        self.step = 0
+        self.colors = np.zeros(context.n, dtype=np.int64)  # 0 = uncolored
+        self._src = context.sources
+
+    def send_batch(self, round_number: int):
+        return self.colors[self._src]
+
+    def receive_batch(self, round_number: int, inbox, delivered) -> None:
+        np = self._np
+        class_index, slot = self.schedule[self.step]
+        self.step += 1
+        scheduled = (self.class_of == class_index) & (self.slot_of == slot)
+        if scheduled.any():
+            bits = np.where(inbox > 0, np.int64(1) << inbox.clip(0, 62), 0)
+            used = segment_reduce(
+                np.bitwise_or, bits, self.context.offsets, empty=0
+            )
+            used |= 1  # color 0 is "uncolored", never pickable
+            free = lowest_free_bit(used)
+            if bool((scheduled & (free > self.palette_size)).any()):
+                raise ColoringError(
+                    "Barenboim–Elkin ran out of colors; the arboricity "
+                    "parameter is an underestimate"
+                )
+            self.colors = np.where(scheduled, free, self.colors)
+
+    def is_finished_batch(self) -> bool:
+        return self.step >= len(self.schedule)
+
+    def results_batch(self) -> list[int]:
+        return [int(c) for c in self.colors]
+
+
+def _h_partition_flat(graph, arboricity: int, epsilon: float) -> HPartition:
+    """Vectorized H-partition peel over a frozen graph's CSR arrays.
+
+    Same classes, class indices and charged rounds as
+    :func:`~repro.distributed.forest_decomposition.h_partition` — only the
+    per-iteration work is one degree threshold test plus one segmented
+    count instead of per-vertex set walks.
+    """
+    import numpy as np
+
+    if arboricity < 1:
+        raise ValueError("arboricity must be at least 1")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    threshold = (2.0 + epsilon) * arboricity
+    ledger = RoundLedger()
+    labels = graph.vertices()
+    n = len(labels)
+    offsets, neighbors = graph.csr_arrays()
+    degrees = np.diff(offsets).astype(np.int64)
+    remaining = np.ones(n, dtype=bool)
+    classes: list[set[Vertex]] = []
+    class_of: dict[Vertex, int] = {}
+    limit = 4 * n + 8
+    iteration = 0
+    while bool(remaining.any()):
+        iteration += 1
+        if iteration > limit:
+            raise SimulationError(
+                "H-partition did not converge; the arboricity parameter "
+                f"({arboricity}) is probably an underestimate"
+            )
+        peeled = remaining & (degrees <= threshold)
+        if not bool(peeled.any()):
+            raise SimulationError(
+                "H-partition stalled: no vertex of degree at most "
+                f"{threshold:.1f} remains; the arboricity parameter "
+                f"({arboricity}) is an underestimate"
+            )
+        index = len(classes)
+        peeled_idx = np.flatnonzero(peeled)
+        members = {labels[int(i)] for i in peeled_idx}
+        classes.append(members)
+        for v in members:
+            class_of[v] = index
+        remaining &= ~peeled
+        # degree update: every remaining vertex loses its peeled neighbours
+        degrees -= segment_reduce(
+            np.add, peeled[neighbors].astype(np.int64), offsets, empty=0
+        )
+        ledger.charge(
+            "H-partition: peel one class",
+            1,
+            reference="Barenboim–Elkin [4], Procedure Partition",
+        )
+    return HPartition(
+        classes=classes,
+        class_of=class_of,
+        degree_bound=threshold,
+        rounds=len(classes),
+        ledger=ledger,
+    )
+
+
 def barenboim_elkin_coloring(
-    graph: Graph, arboricity: int, epsilon: float = 1.0
+    graph: Graph, arboricity: int, epsilon: float = 1.0, backend: str = "dict"
 ) -> BarenboimElkinResult:
-    """Color ``graph`` with ``floor((2+ε)a) + 1`` colors (Barenboim–Elkin)."""
+    """Color ``graph`` with ``floor((2+ε)a) + 1`` colors (Barenboim–Elkin).
+
+    ``backend="flat"`` runs the H-partition, the per-class slot coloring
+    and the slot-selection phase on the flat substrate (see the module
+    docstring); without numpy it transparently degrades to the dict
+    backend.
+    """
+    if backend not in ("dict", "flat"):
+        raise ValueError(f"unknown backend {backend!r}; use 'dict' or 'flat'")
+    if backend == "flat" and (
+        not HAS_NUMPY
+        or int(math.floor((2.0 + epsilon) * arboricity)) + 1 >= 62
+    ):
+        # no numpy, or a palette too wide for the int64 slot kernel:
+        # the dict backend is the fallback
+        backend = "dict"
     ledger = RoundLedger()
     if graph.number_of_vertices() == 0:
         return BarenboimElkinResult({}, 0, 0, 0, HPartition([], {}, 0, 0), ledger)
+    if backend == "flat":
+        return _barenboim_elkin_flat(freeze(graph), arboricity, epsilon, ledger)
     partition = h_partition(graph, arboricity, epsilon)
     ledger.extend(partition.ledger)
     palette_size = int(math.floor((2.0 + epsilon) * arboricity)) + 1
@@ -93,6 +287,56 @@ def barenboim_elkin_coloring(
                 reference="greedy selection within a stable slot",
             )
             total_rounds += 1
+    return BarenboimElkinResult(
+        coloring=coloring,
+        colors_used=len(set(coloring.values())),
+        palette_size=palette_size,
+        rounds=total_rounds,
+        partition=partition,
+        ledger=ledger,
+    )
+
+
+def _barenboim_elkin_flat(
+    frozen, arboricity: int, epsilon: float, ledger: RoundLedger
+) -> BarenboimElkinResult:
+    """Flat-substrate Barenboim–Elkin on a frozen graph."""
+    partition = _h_partition_flat(frozen, arboricity, epsilon)
+    ledger.extend(partition.ledger)
+    palette_size = int(math.floor((2.0 + epsilon) * arboricity)) + 1
+    total_rounds = partition.rounds
+
+    # per-class slot colorings, processed (and charged) last class first —
+    # the same order the dict backend sweeps them
+    slot_inputs: dict[Vertex, tuple[int, int, int]] = {}
+    for class_index in range(len(partition.classes) - 1, -1, -1):
+        members = partition.classes[class_index]
+        class_graph = frozen.subgraph(members)
+        slots = delta_plus_one_coloring(class_graph, batched=True)
+        ledger.charge(
+            "Barenboim–Elkin: slot coloring of one class",
+            slots.rounds,
+            reference="within-class (Δ+1)-coloring",
+        )
+        total_rounds += slots.rounds
+        for v in members:
+            slot_inputs[v] = (class_index, slots.coloring[v], palette_size)
+
+    run = run_node_algorithm(
+        frozen,
+        BatchSlotColorSelection,
+        inputs=slot_inputs,
+        max_rounds=len(frozen) * (palette_size + 2) + 8,
+        strict=True,
+    )
+    slot_rounds = run.rounds
+    ledger.charge(
+        "Barenboim–Elkin: one slot selects colors",
+        slot_rounds,
+        reference="greedy selection within a stable slot (batched engine)",
+    )
+    total_rounds += slot_rounds
+    coloring = {v: int(c) for v, c in run.outputs.items()}
     return BarenboimElkinResult(
         coloring=coloring,
         colors_used=len(set(coloring.values())),

@@ -22,6 +22,7 @@ from repro.local.node import (
     BatchNodeAlgorithm,
     NodeAlgorithm,
     NodeContext,
+    lowest_free_bit,
     segment_reduce,
 )
 from repro.local.simulator import run_node_algorithm
@@ -127,8 +128,7 @@ class BatchGreedyLocalMaximaAlgorithm(BatchNodeAlgorithm):
             offsets,
             empty=0,
         ) | 1
-        lowest_free_bit = ~used & (used + 1)
-        free = np.log2(lowest_free_bit.astype(np.float64)).astype(np.int64)
+        free = lowest_free_bit(used)
         self.colors = np.where(eligible, free, self.colors)
         self.done = bool((self.colors > 0).all())
 

@@ -26,13 +26,22 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.graphs.graph import Graph, Vertex
-from repro.local.node import NodeAlgorithm, NodeContext
+from repro.local.node import (
+    BatchContext,
+    BatchNodeAlgorithm,
+    NodeAlgorithm,
+    NodeContext,
+    lowest_free_bit,
+    segment_reduce,
+)
 from repro.local.simulator import run_node_algorithm
 
 __all__ = [
     "linial_schedule",
     "LinialColoringAlgorithm",
+    "BatchLinialColoringAlgorithm",
     "ColorReductionAlgorithm",
+    "BatchColorReductionAlgorithm",
     "delta_plus_one_coloring",
     "DistributedColoringResult",
 ]
@@ -143,6 +152,87 @@ class LinialColoringAlgorithm(NodeAlgorithm):
         return self.color, self.palette
 
 
+class BatchLinialColoringAlgorithm(BatchNodeAlgorithm):
+    """Batched port of :class:`LinialColoringAlgorithm` (one array per round).
+
+    All nodes share the same ``(n, Δ)`` schedule, so one program instance
+    replays the per-node protocol with dense linear algebra: the base-``q``
+    digit polynomials of all current colors are evaluated on all of GF(q)
+    at once (an ``(n, q)`` matrix), the per-slot conflicts are reduced to
+    an ``(n, q)`` "excluded evaluation point" table with one segmented OR,
+    and every node picks its first admissible point.  Rounds, message
+    counts and outputs are identical to the per-node run (the parity tests
+    assert this), which keeps the charged-round accounting of Lemma 3.2
+    unchanged when the flat backend swaps this port in.
+    """
+
+    fallback = LinialColoringAlgorithm
+
+    def can_run(self, context: BatchContext) -> bool:
+        # the batched replay needs every node to run the same schedule
+        inputs = context.inputs
+        return bool(inputs) and all(x == inputs[0] for x in inputs)
+
+    def initialize_batch(self, context: BatchContext) -> None:
+        import numpy as np
+
+        super().initialize_batch(context)
+        self._np = np
+        self.max_degree = int(context.inputs[0]) if context.inputs else 1
+        self.schedule = linial_schedule(context.n, self.max_degree)
+        self.step = 0
+        self.colors = np.arange(context.n, dtype=np.int64)
+        self.palette = max(context.n, 2)
+        self._src = context.sources
+        self._endpoints = context.endpoints
+
+    def send_batch(self, round_number: int):
+        return self.colors[self._src]
+
+    def receive_batch(self, round_number: int, inbox, delivered) -> None:
+        np = self._np
+        _m, q, d = self.schedule[self.step]
+        n = self.context.n
+        colors = self.colors
+        # base-q digits of every color: (n, d+1)
+        digits = np.empty((n, d + 1), dtype=np.int64)
+        remaining = colors.copy()
+        for k in range(d + 1):
+            digits[:, k] = remaining % q
+            remaining //= q
+        # powers[x, k] = x^k mod q: (q, d+1)
+        xs = np.arange(q, dtype=np.int64)
+        powers = np.ones((q, d + 1), dtype=np.int64)
+        for k in range(1, d + 1):
+            powers[:, k] = (powers[:, k - 1] * xs) % q
+        values = (digits @ powers.T) % q  # (n, q): p_v(x) for every v, x
+        # a point x is excluded for v when some neighbour u with a
+        # *different* color satisfies p_u(x) == p_v(x)
+        src, endpoints = self._src, self._endpoints
+        conflicting = (inbox != colors[src])[:, None] & (
+            values[endpoints] == values[src]
+        )
+        offsets = self.context.offsets
+        excluded = np.zeros((n, q), dtype=bool)
+        starts = offsets[:-1]
+        nonempty = np.flatnonzero(starts != offsets[1:])
+        if nonempty.size:
+            excluded[nonempty] = np.logical_or.reduceat(
+                conflicting, starts[nonempty], axis=0
+            )
+        chosen = np.argmax(~excluded, axis=1)  # first admissible x (0 if none)
+        self.colors = chosen * q + values[np.arange(n), chosen]
+        self.palette = q * q
+        self.step += 1
+
+    def is_finished_batch(self) -> bool:
+        return self.step >= len(self.schedule)
+
+    def results_batch(self) -> list[tuple[int, int]]:
+        palette = self.palette
+        return [(int(c), palette) for c in self.colors]
+
+
 class ColorReductionAlgorithm(NodeAlgorithm):
     """Reduce a proper coloring with ``m`` colors to ``Δ+1`` colors.
 
@@ -185,6 +275,58 @@ class ColorReductionAlgorithm(NodeAlgorithm):
         return self.color
 
 
+class BatchColorReductionAlgorithm(BatchNodeAlgorithm):
+    """Batched port of :class:`ColorReductionAlgorithm`.
+
+    One color class is retired per round exactly as in the per-node
+    protocol; the "smallest free color in ``{0..Δ}``" selection runs as a
+    segmented OR of neighbour color bits plus a lowest-zero-bit extraction
+    (which needs ``Δ + 1 < 63``; wider palettes decline :meth:`can_run`
+    and fall back per node).
+    """
+
+    fallback = ColorReductionAlgorithm
+
+    def can_run(self, context: BatchContext) -> bool:
+        inputs = context.inputs
+        if not inputs:
+            return False
+        palettes = {p for (_c, p, _d) in inputs}
+        deltas = {d for (_c, _p, d) in inputs}
+        return len(palettes) == 1 and len(deltas) == 1 and max(deltas) + 1 < 63
+
+    def initialize_batch(self, context: BatchContext) -> None:
+        import numpy as np
+
+        super().initialize_batch(context)
+        self._np = np
+        inputs = context.inputs
+        self.colors = np.asarray([int(c) for (c, _p, _d) in inputs], dtype=np.int64)
+        self.palette = int(inputs[0][1])
+        self.max_degree = int(inputs[0][2])
+        self.target = self.palette - 1
+        self._src = context.sources
+
+    def send_batch(self, round_number: int):
+        return self.colors[self._src]
+
+    def receive_batch(self, round_number: int, inbox, delivered) -> None:
+        np = self._np
+        delta = self.max_degree
+        bits = np.where(inbox <= delta, np.int64(1) << inbox.clip(0, 62), 0)
+        used = segment_reduce(np.bitwise_or, bits, self.context.offsets, empty=0)
+        free = lowest_free_bit(used)
+        moving = (self.colors == self.target) & (free <= delta)
+        self.colors = np.where(moving, free, self.colors)
+        self.target -= 1
+
+    def is_finished_batch(self) -> bool:
+        return self.target <= self.max_degree
+
+    def results_batch(self) -> list[int]:
+        return [int(c) for c in self.colors]
+
+
 @dataclass
 class DistributedColoringResult:
     """Coloring plus measured round/message counts of a simulator run."""
@@ -196,7 +338,7 @@ class DistributedColoringResult:
 
 
 def delta_plus_one_coloring(
-    graph: Graph, max_degree: int | None = None
+    graph: Graph, max_degree: int | None = None, batched: bool = False
 ) -> DistributedColoringResult:
     """(Δ+1)-coloring via Linial + color reduction, with measured rounds.
 
@@ -204,6 +346,12 @@ def delta_plus_one_coloring(
     Lemma 3.2 (the paper quotes [17] with an ``O(d log n)`` bound; the
     Linial route used here costs ``O(log* n + Δ²)`` rounds, which is
     incomparable in general but simpler and fully message-passing).
+
+    ``batched=True`` runs the vectorized
+    :class:`BatchLinialColoringAlgorithm` /
+    :class:`BatchColorReductionAlgorithm` ports on the flat round engine;
+    rounds, messages and colors are identical to the per-node run (and the
+    ports fall back per node transparently when numpy is unavailable).
     """
     from repro.graphs.frozen import freeze
     from repro.local.network import Network
@@ -217,7 +365,7 @@ def delta_plus_one_coloring(
     delta = max(1, delta)
     linial_run = run_node_algorithm(
         frozen,
-        LinialColoringAlgorithm,
+        BatchLinialColoringAlgorithm if batched else LinialColoringAlgorithm,
         inputs={v: delta for v in frozen},
         network=network,
     )
@@ -227,7 +375,7 @@ def delta_plus_one_coloring(
     }
     reduction_run = run_node_algorithm(
         frozen,
-        ColorReductionAlgorithm,
+        BatchColorReductionAlgorithm if batched else ColorReductionAlgorithm,
         inputs=reduction_inputs,
         max_rounds=palette + 5,
         network=network,

@@ -374,6 +374,24 @@ class FrozenGraph:
         labels = self._labels
         new_labels = [labels[i] for i in keep_idx]
         n = len(labels)
+        # the vectorized path scans every edge of the *parent* graph; for
+        # small keep sets (balls, leaf blocks) the scalar walk over just
+        # the kept rows is far cheaper
+        if self._use_numpy and len(keep_idx) * 16 < n:
+            offsets_l, neighbors_l = self._csr_lists()
+            remap_small = {old: new for new, old in enumerate(keep_idx)}
+            small_offsets = [0] * (len(keep_idx) + 1)
+            small_neighbors: list[int] = []
+            for new_i, old_i in enumerate(keep_idx):
+                for k in range(offsets_l[old_i], offsets_l[old_i + 1]):
+                    mapped = remap_small.get(neighbors_l[k])
+                    if mapped is not None:
+                        small_neighbors.append(mapped)
+                small_offsets[new_i + 1] = len(small_neighbors)
+            return FrozenGraph(
+                new_labels, small_offsets, small_neighbors,
+                name=self.name, metadata=self.metadata, use_numpy=True,
+            )
         if self._use_numpy:
             mask = _np.zeros(n, dtype=bool)
             keep_arr = _np.asarray(keep_idx, dtype=_np.int64)
@@ -430,18 +448,32 @@ class FrozenGraph:
         return self._list_cache
 
     def _bfs_levels_idx(self, source_idx: int, radius: int | None) -> list[list[int]]:
-        """BFS by index; returns the list of frontiers (lists of indices).
+        """Single-source BFS frontiers by index (see :meth:`multi_source_levels`)."""
+        return self.multi_source_levels([source_idx], radius)
 
-        Adaptive: small frontiers expand with a scalar loop over the cached
-        list views; once a frontier outgrows ``_VECTORIZE_FRONTIER`` (and
-        numpy is available) the level expansion switches to one vectorized
-        gather per level.
+    def multi_source_levels(
+        self, sources: Iterable[int], radius: int | None = None
+    ) -> list[list[int]]:
+        """BFS by index from several sources at once; returns the frontiers.
+
+        ``levels[k]`` holds the indices at distance exactly ``k`` from the
+        source set (``levels[0]`` is the deduplicated source list, in input
+        order).  Adaptive: small frontiers expand with a scalar loop over
+        the cached list views; once a frontier outgrows
+        ``_VECTORIZE_FRONTIER`` (and numpy is available) the level
+        expansion switches to one vectorized gather per level.
         """
         n = len(self._labels)
         offsets, neighbors = self._csr_lists()
         visited = bytearray(n)
-        visited[source_idx] = 1
-        frontier = [source_idx]
+        frontier: list[int] = []
+        for i in sources:
+            i = int(i)
+            if not visited[i]:
+                visited[i] = 1
+                frontier.append(i)
+        if not frontier:
+            return []
         levels = [frontier]
         depth = 0
         np_visited = None

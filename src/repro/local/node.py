@@ -33,6 +33,7 @@ __all__ = [
     "BatchContext",
     "BatchNodeAlgorithm",
     "segment_reduce",
+    "lowest_free_bit",
 ]
 
 
@@ -209,3 +210,19 @@ def segment_reduce(ufunc, values, offsets, empty=0):
     if nonempty.size:
         out[nonempty] = ufunc.reduceat(values, starts[nonempty])
     return out
+
+
+def lowest_free_bit(used):
+    """Per-element index of the lowest zero bit of an int64 mask array.
+
+    The "smallest free color" extraction shared by the batched coloring
+    programs: with colors encoded as bits, ``lowest_free_bit(used)`` is
+    the first color absent from each node's used-set.  Masks must leave
+    bit 62 clear (all batched palettes are far below that), so
+    ``used + 1`` cannot overflow and the isolated bit is a power of two
+    that float64 represents exactly.
+    """
+    import numpy as np
+
+    isolated = ~used & (used + 1)
+    return np.log2(isolated.astype(np.float64)).astype(np.int64)

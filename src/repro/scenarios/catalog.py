@@ -44,6 +44,11 @@ def _budget_failures(runner: ExperimentRunner, *, algorithms: list[str] | None =
 # E1 — theorem13-colors
 # ---------------------------------------------------------------------------
 
+def _backend_label(algorithm: str, backend: str) -> str:
+    """Row label for a backend axis: dict rows keep the historical name."""
+    return algorithm if backend == "dict" else f"{algorithm} [{backend}]"
+
+
 def _build_theorem13_colors(params: Params, profile: bool) -> list[BatchTask]:
     built = []
     for d in params["ds"]:
@@ -54,15 +59,20 @@ def _build_theorem13_colors(params: Params, profile: bool) -> list[BatchTask]:
                 ("random", "thm1.3 random lists"),
                 ("greedy", "greedy baseline"),
             ):
-                built.append(BatchTask(
-                    instance, algorithm, tasks.theorem13_colors,
-                    args=(n, d, variant), kwargs={"profile": profile},
-                ))
+                for backend in params["backends"]:
+                    built.append(BatchTask(
+                        instance, _backend_label(algorithm, backend),
+                        tasks.theorem13_colors,
+                        args=(n, d, variant, backend), kwargs={"profile": profile},
+                    ))
     return built
 
 
 def _check_theorem13_colors(runner: ExperimentRunner, params: Params) -> list[str]:
-    failures = _budget_failures(runner, algorithms=["thm1.3 uniform lists"])
+    failures = _budget_failures(runner, algorithms=[
+        _backend_label("thm1.3 uniform lists", backend)
+        for backend in params["backends"]
+    ])
     failures += [
         f"{row.instance} / {row.algorithm}: verification failed"
         for row in runner.rows
@@ -81,7 +91,7 @@ register(Scenario(
         "one more color."
     ),
     build_tasks=_build_theorem13_colors,
-    defaults={"sizes": (80, 160), "ds": (4, 6)},
+    defaults={"sizes": (80, 160), "ds": (4, 6), "backends": ("dict", "flat")},
     smoke_overrides={"sizes": (40,), "ds": (4,)},
     reference={
         "colors": "<= d with uniform lists {1..d}",
@@ -99,43 +109,55 @@ register(Scenario(
 def _build_theorem13_rounds(params: Params, profile: bool) -> list[BatchTask]:
     return [
         BatchTask(
-            f"n={n}", "thm1.3 (paper radius)", tasks.theorem13_rounds,
-            args=(n, params["d"]), kwargs={"profile": profile},
+            f"n={n}", _backend_label("thm1.3 (paper radius)", backend),
+            tasks.theorem13_rounds,
+            args=(n, params["d"], backend), kwargs={"profile": profile},
         )
         for n in params["sizes"]
+        for backend in params["backends"]
     ]
 
 
-def _round_series(runner: ExperimentRunner) -> tuple[list[int], list[int]]:
-    ns = runner.metric_series("thm1.3 (paper radius)", "n")
-    rounds = runner.metric_series("thm1.3 (paper radius)", "rounds")
-    return ns, rounds
+def _round_series(
+    runner: ExperimentRunner, backend: str = "dict"
+) -> tuple[list[int], list[int]]:
+    label = _backend_label("thm1.3 (paper radius)", backend)
+    return (
+        runner.metric_series(label, "n"),
+        runner.metric_series(label, "rounds"),
+    )
 
 
 def _finalize_theorem13_rounds(runner: ExperimentRunner, params: Params) -> None:
-    ns, rounds = _round_series(runner)
-    if len(ns) >= 3:
-        fit = fit_polylog(ns, rounds)
-        runner.metadata["fit"] = {
-            "model": "rounds ~ c * log2(n)^e",
-            "coefficient": round(fit.coefficient, 3),
-            "exponent": round(fit.exponent, 3),
-        }
+    for backend in params["backends"]:
+        ns, rounds = _round_series(runner, backend)
+        if len(ns) >= 3:
+            fit = fit_polylog(ns, rounds)
+            key = "fit" if backend == "dict" else f"fit[{backend}]"
+            runner.metadata[key] = {
+                "model": "rounds ~ c * log2(n)^e",
+                "coefficient": round(fit.coefficient, 3),
+                "exponent": round(fit.exponent, 3),
+            }
 
 
 def _check_theorem13_rounds(runner: ExperimentRunner, params: Params) -> list[str]:
-    ns, rounds = _round_series(runner)
     failures = []
-    if len(ns) >= 3:
+    for backend in params["backends"]:
+        ns, rounds = _round_series(runner, backend)
+        if len(ns) < 3:
+            continue
         normalized = normalized_by_polylog(ns, rounds, power=3)
         if max(normalized) > 6 * min(normalized):
             failures.append(
-                f"rounds/log^3 not bounded: min {min(normalized):.3f}, "
+                f"rounds/log^3 not bounded ({backend}): min {min(normalized):.3f}, "
                 f"max {max(normalized):.3f} (> 6x)"
             )
         fit = fit_polylog(ns, rounds)
         if fit.exponent > 4.0:
-            failures.append(f"fitted polylog exponent {fit.exponent:.2f} > 4.0")
+            failures.append(
+                f"fitted polylog exponent ({backend}) {fit.exponent:.2f} > 4.0"
+            )
     return failures
 
 
@@ -149,7 +171,7 @@ register(Scenario(
         "as n grows, and the fitted polylog exponent stays <= 4."
     ),
     build_tasks=_build_theorem13_rounds,
-    defaults={"sizes": (60, 120, 240, 480), "d": 4},
+    defaults={"sizes": (60, 120, 240, 480), "d": 4, "backends": ("dict", "flat")},
     smoke_overrides={"sizes": (40, 80)},
     reference={"rounds": "O(d^4 log^3 n), O(d^2 log^3 n) when max degree <= d"},
     size_param="sizes",
@@ -167,24 +189,36 @@ def _build_corollary14(params: Params, profile: bool) -> list[BatchTask]:
     for a in params["arboricities"]:
         for n in params["ns"]:
             instance = f"n={n} a={a}"
-            built.append(BatchTask(
-                instance, "Cor 1.4 (2a colors)", tasks.corollary14_arboricity,
-                args=(n, a, "ours"), kwargs={"profile": profile},
-            ))
-            built.append(BatchTask(
-                instance, "Barenboim-Elkin", tasks.corollary14_arboricity,
-                args=(n, a, "barenboim-elkin"), kwargs={"profile": profile},
-            ))
+            for backend in params["backends"]:
+                built.append(BatchTask(
+                    instance, _backend_label("Cor 1.4 (2a colors)", backend),
+                    tasks.corollary14_arboricity,
+                    args=(n, a, "ours", backend), kwargs={"profile": profile},
+                ))
+                built.append(BatchTask(
+                    instance, _backend_label("Barenboim-Elkin", backend),
+                    tasks.corollary14_arboricity,
+                    args=(n, a, "barenboim-elkin", backend),
+                    kwargs={"profile": profile},
+                ))
     return built
 
 
 def _check_corollary14(runner: ExperimentRunner, params: Params) -> list[str]:
-    ours = runner.metric_series("Cor 1.4 (2a colors)", "palette")
-    baseline = runner.metric_series("Barenboim-Elkin", "palette")
     failures = []
-    for o, b in zip(ours, baseline):
-        if o >= b:
-            failures.append(f"palette not strictly smaller: ours {o} vs Barenboim-Elkin {b}")
+    for backend in params["backends"]:
+        ours = runner.metric_series(
+            _backend_label("Cor 1.4 (2a colors)", backend), "palette"
+        )
+        baseline = runner.metric_series(
+            _backend_label("Barenboim-Elkin", backend), "palette"
+        )
+        for o, b in zip(ours, baseline):
+            if o >= b:
+                failures.append(
+                    f"palette not strictly smaller ({backend}): "
+                    f"ours {o} vs Barenboim-Elkin {b}"
+                )
     return failures
 
 
@@ -198,7 +232,7 @@ register(Scenario(
         "is strictly smaller on every instance."
     ),
     build_tasks=_build_corollary14,
-    defaults={"ns": (120,), "arboricities": (2, 3)},
+    defaults={"ns": (120,), "arboricities": (2, 3), "backends": ("dict", "flat")},
     smoke_overrides={"ns": (60,), "arboricities": (2,)},
     reference={
         "palette": "2a colors in O(a^4 log^3 n) rounds",
@@ -727,6 +761,115 @@ register(Scenario(
 
 
 # ---------------------------------------------------------------------------
+# E15 — coloring (flat palette A/B on the Theorem 1.3 pipeline)
+# ---------------------------------------------------------------------------
+
+_COLORING_ALGORITHMS = (
+    # (task key, size param, row label)
+    ("theorem13", "sizes", "Thm 1.3 pipeline"),
+    ("barenboim-elkin", "be_sizes", "Barenboim-Elkin"),
+)
+_COLORING_BACKENDS = ("dict", "flat")
+
+
+def _build_coloring(params: Params, profile: bool) -> list[BatchTask]:
+    built = []
+    d = params["d"]
+    for key, size_key, label in _COLORING_ALGORITHMS:
+        for n in params[size_key]:
+            # one explicit seed per instance (not per task index), so the
+            # dict and flat rows of an instance see the same graph and the
+            # parity check can compare their colorings bit for bit
+            seed = params["instance_seed"] + n
+            for backend in params["backends"]:
+                built.append(BatchTask(
+                    f"{key} n={n} d={d}", f"{label} [{backend}]",
+                    tasks.coloring_pipeline,
+                    args=(n, d, key, backend),
+                    kwargs={"seed": seed, "profile": profile},
+                    seed_arg=None,
+                ))
+    return built
+
+
+def _finalize_coloring(runner: ExperimentRunner, params: Params) -> None:
+    d = params["d"]
+    for key, size_key, label in _COLORING_ALGORITHMS:
+        baseline = runner.metric_series(f"{label} [dict]", "solve_seconds")
+        for backend in params["backends"]:
+            if backend == "dict":
+                continue
+            timed = runner.metric_series(f"{label} [{backend}]", "solve_seconds")
+            for n, dict_s, flat_s in zip(params[size_key], baseline, timed):
+                if flat_s > 0:
+                    speedup = round(dict_s / flat_s, 2)
+                    runner.metadata[f"speedup[{label}][n={n}]"] = speedup
+                    runner.add(
+                        f"{key} n={n} d={d}", f"{label} {backend} speedup",
+                        n=n, speedup_x=speedup,
+                    )
+
+
+def _check_coloring(runner: ExperimentRunner, params: Params) -> list[str]:
+    failures = []
+    # the backends must agree bit for bit: same coloring digest, same
+    # charged-round total, same color count, on every parity instance
+    for _key, size_key, label in _COLORING_ALGORITHMS:
+        for metric in ("coloring_sha", "rounds", "colors"):
+            series = {
+                backend: runner.metric_series(f"{label} [{backend}]", metric)
+                for backend in params["backends"]
+            }
+            baseline = series.get("dict")
+            for backend, values in series.items():
+                if baseline is not None and values != baseline:
+                    failures.append(
+                        f"{label}: {metric} diverge between dict {baseline} "
+                        f"and {backend} {values}"
+                    )
+    # the headline: >= 5x for the Theorem 1.3 pipeline at n >= 10k (no
+    # gate on small/smoke grids where constant overheads dominate)
+    largest = max(params["sizes"])
+    target = 5.0 if largest >= 10_000 else None
+    recorded = runner.metadata.get(f"speedup[Thm 1.3 pipeline][n={largest}]")
+    if target is not None and recorded is not None and recorded < target:
+        failures.append(
+            f"flat palette speedup {recorded}x at n={largest} below the "
+            f"{target}x target"
+        )
+    return failures
+
+
+register(Scenario(
+    name="coloring",
+    title="Flat palette core — Theorem 1.3 pipeline, dict vs flat backend",
+    paper_ref="Theorem 1.3 / Corollary 1.4 (infrastructure)",
+    description=(
+        "Wall time of the full d-list-coloring pipeline (and the "
+        "Barenboim-Elkin baseline) on the per-vertex dict substrate vs "
+        "the flat palette substrate (interned color bitmasks, CSR "
+        "kernels, batched Linial/color-reduction/slot-selection on the "
+        "round engine), with bit-identical colorings and round-ledger "
+        "totals asserted on every instance."
+    ),
+    build_tasks=_build_coloring,
+    defaults={
+        "sizes": (2_000, 10_000), "be_sizes": (10_000,), "d": 4,
+        "backends": _COLORING_BACKENDS, "instance_seed": 1_000,
+    },
+    smoke_overrides={"sizes": (300,), "be_sizes": (300,)},
+    reference={
+        "parity": "identical colorings and charged rounds on both backends",
+        "speedup": ">= 5x wall time for the Theorem 1.3 pipeline at n >= 10^4",
+    },
+    size_param="sizes",
+    serial_only=True,
+    finalize=_finalize_coloring,
+    check=_check_coloring,
+))
+
+
+# ---------------------------------------------------------------------------
 # Campaigns: named scenario sets for `python -m repro campaign`
 # ---------------------------------------------------------------------------
 
@@ -740,5 +883,5 @@ CAMPAIGNS: dict[str, list[str]] = {
         "lemma31-happy-fraction", "lemma32-extension",
     ],
     "lowerbounds": ["lowerbound-fisk", "lowerbound-grids"],
-    "perf": ["primitives", "simulator"],
+    "perf": ["primitives", "simulator", "coloring"],
 }

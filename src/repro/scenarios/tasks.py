@@ -80,15 +80,25 @@ from repro.scenarios.base import StageProfile
 # ---------------------------------------------------------------------------
 
 def theorem13_colors(
-    n: int, d: int, variant: str, seed: int | None = None, profile: bool = False
+    n: int, d: int, variant: str, backend: str = "dict",
+    seed: int | None = None, profile: bool = False,
 ) -> dict[str, Any]:
-    """d-list-color a bounded-mad graph; ``variant``: uniform/random/greedy."""
+    """d-list-color a bounded-mad graph; ``variant``: uniform/random/greedy.
+
+    ``backend`` selects the list-coloring substrate of the Theorem 1.3
+    driver: ``dict`` (per-vertex set algebra) or ``flat`` (interned
+    palette bitmasks + CSR kernels + the batched round engine).  Both
+    produce bit-identical colorings and round totals; the ``coloring``
+    scenario measures the wall-time gap.
+    """
     prof = StageProfile(profile)
     with prof("generate"):
         graph = sparse.random_degenerate_graph(n, d // 2, seed=seed)
     if variant == "greedy":
+        with prof("freeze"):
+            solver_graph = graph.freeze() if backend == "flat" else graph
         with prof("solve"):
-            coloring = degeneracy_greedy_coloring(graph)
+            coloring = degeneracy_greedy_coloring(solver_graph)
         return {
             "colors": len(set(coloring.values())), "budget": d,
             "rounds": 0, "valid": True, **prof.metrics(),
@@ -102,7 +112,7 @@ def theorem13_colors(
             lists = random_lists(frozen, d, palette_size=2 * d, seed=seed)
         else:
             raise ValueError(f"unknown variant {variant!r}")
-        result = color_sparse_graph(frozen, d=d, lists=lists)
+        result = color_sparse_graph(frozen, d=d, lists=lists, backend=backend)
     with prof("verify"):
         verify_list_coloring(frozen, result.coloring, lists)
     return {
@@ -116,7 +126,8 @@ def theorem13_colors(
 # ---------------------------------------------------------------------------
 
 def theorem13_rounds(
-    n: int, d: int, seed: int | None = None, profile: bool = False
+    n: int, d: int, backend: str = "dict",
+    seed: int | None = None, profile: bool = False,
 ) -> dict[str, Any]:
     """Charged rounds of the Theorem 1.3 driver on a union of forests."""
     prof = StageProfile(profile)
@@ -125,7 +136,7 @@ def theorem13_rounds(
     with prof("freeze"):
         frozen = graph.freeze()
     with prof("solve"):
-        result = color_sparse_graph(frozen, d=d)
+        result = color_sparse_graph(frozen, d=d, backend=backend)
     with prof("verify"):
         assert result.succeeded
     return {
@@ -138,21 +149,97 @@ def theorem13_rounds(
 
 
 # ---------------------------------------------------------------------------
+# E15 — flat palette A/B: the Theorem 1.3 pipeline, dict vs flat backend
+# ---------------------------------------------------------------------------
+
+def _coloring_digest(coloring: dict) -> str:
+    """Order-independent SHA-256 digest of a coloring (parity comparisons)."""
+    import hashlib
+
+    h = hashlib.sha256()
+    for pair in sorted(f"{v!r}\x1f{c!r}" for v, c in coloring.items()):
+        h.update(pair.encode())
+        h.update(b"\x1e")
+    return h.hexdigest()[:16]
+
+
+def coloring_pipeline(
+    n: int, d: int, algorithm: str, backend: str,
+    seed: int | None = None, profile: bool = False,
+) -> dict[str, Any]:
+    """Time one full list-coloring run on the dict or flat palette backend.
+
+    ``algorithm`` is ``theorem13`` (the paper's driver on a random
+    ``d/2``-degenerate graph) or ``barenboim-elkin`` (the Corollary 1.4
+    baseline on a union of forests, arboricity ``d // 2``).  The graph is
+    generated and frozen outside the timed section, so ``solve_seconds``
+    measures the pipeline itself; ``coloring_sha`` and ``rounds`` let the
+    scenario check assert bit-identical colorings and round-ledger totals
+    between the backends on every instance.
+    """
+    prof = StageProfile(profile)
+    with prof("generate"):
+        if algorithm == "theorem13":
+            graph = sparse.random_degenerate_graph(n, d // 2, seed=seed)
+        elif algorithm == "barenboim-elkin":
+            graph = sparse.union_of_random_forests(n, d // 2, seed=seed)
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+    with prof("freeze"):
+        frozen = graph.freeze()
+    with prof("solve"):
+        start = time.perf_counter()
+        if algorithm == "theorem13":
+            result = color_sparse_graph(frozen, d=d, backend=backend)
+            coloring, rounds = result.coloring, result.rounds
+        else:
+            result = barenboim_elkin_coloring(
+                frozen, arboricity=d // 2, backend=backend
+            )
+            coloring, rounds = result.coloring, result.rounds
+        elapsed = time.perf_counter() - start
+    with prof("verify"):
+        verify_coloring(frozen, coloring)
+        if algorithm == "theorem13":
+            verify_list_coloring(frozen, coloring, uniform_lists(frozen, d))
+    return {
+        "n": n,
+        "backend": backend,
+        "rounds": rounds,
+        "colors": len(set(coloring.values())),
+        "solve_seconds": round(elapsed, 6),
+        "coloring_sha": _coloring_digest(coloring),
+        **prof.metrics(),
+    }
+
+
+# ---------------------------------------------------------------------------
 # E5 — Corollary 1.4 vs Barenboim–Elkin
 # ---------------------------------------------------------------------------
 
 def corollary14_arboricity(
-    n: int, arboricity: int, algorithm: str, seed: int | None = None, profile: bool = False
+    n: int, arboricity: int, algorithm: str, backend: str = "dict",
+    seed: int | None = None, profile: bool = False,
 ) -> dict[str, Any]:
-    """Color a union of ``arboricity`` forests; ``algorithm``: ours/barenboim-elkin."""
+    """Color a union of ``arboricity`` forests; ``algorithm``: ours/barenboim-elkin.
+
+    Both sides accept the ``backend`` axis so the Corollary 1.4 / baseline
+    A/B runs on the same substrate: ``ours`` routes through the Theorem
+    1.3 driver's backend, ``barenboim-elkin`` through the dict sweep or
+    the batched slot-selection engine.  The graph is frozen at the
+    boundary either way, which also pins the identifier assignment so the
+    two backends color identically.
+    """
     prof = StageProfile(profile)
     with prof("generate"):
         graph = sparse.union_of_random_forests(n, arboricity, seed=seed)
+    with prof("freeze"):
+        frozen = graph.freeze()
     if algorithm == "ours":
-        with prof("freeze"):
-            frozen = graph.freeze()
         with prof("solve"):
-            result = color_bounded_arboricity_graph(frozen, arboricity=arboricity)
+            result = color_bounded_arboricity_graph(
+                frozen, arboricity=arboricity, backend=backend
+            )
         with prof("verify"):
             verify_coloring(frozen, result.coloring)
         return {
@@ -161,9 +248,11 @@ def corollary14_arboricity(
         }
     if algorithm == "barenboim-elkin":
         with prof("solve"):
-            result = barenboim_elkin_coloring(graph, arboricity=arboricity, epsilon=1.0)
+            result = barenboim_elkin_coloring(
+                frozen, arboricity=arboricity, epsilon=1.0, backend=backend
+            )
         with prof("verify"):
-            verify_coloring(graph, result.coloring)
+            verify_coloring(frozen, result.coloring)
         return {
             "colors": result.colors_used, "palette": result.palette_size,
             "rounds": result.rounds, **prof.metrics(),

@@ -1,0 +1,278 @@
+"""Dict/flat parity of the palette core and the coloring pipelines.
+
+The flat palette refactor promises *bit-identical* results: the interned
+bitmask backend (`FlatListAssignment`), the flat classification engine,
+the CSR ruling forest, the batched Linial/color-reduction/slot-selection
+ports and the flat Theorem 1.3 driver must reproduce the historical
+per-vertex set-algebra outputs exactly — colorings, happy sets, charged
+rounds.  These hypothesis suites check that over ~100 seeded sparse and
+planar instances, including non-integer color labels and empty-list edge
+cases.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import uniform_lists, random_lists
+from repro.coloring.assignment import ListAssignment
+from repro.coloring.greedy import greedy_list_coloring
+from repro.coloring.palette import FlatListAssignment, PaletteUniverse
+from repro.coloring.verification import (
+    is_proper_coloring,
+    respects_lists,
+    verify_list_coloring,
+)
+from repro.core import classify_vertices, color_sparse_graph
+from repro.distributed import barenboim_elkin_coloring, delta_plus_one_coloring
+from repro.graphs.generators import planar, sparse
+from repro.graphs.graph import Graph
+from repro.graphs.properties.degeneracy import degeneracy_ordering
+
+
+# A color pool mixing types whose reprs interleave in nontrivial ways.
+WEIRD_COLORS = [1, 2, 10, "1", "red", "blue", (0, 1), ("x",), -3, None, 2.5]
+
+
+def _weird_lists(seed: int, vertices) -> dict:
+    rng = random.Random(seed)
+    out = {}
+    for i, v in enumerate(vertices):
+        if i % 7 == 3:
+            out[v] = []  # empty-list edge case
+        else:
+            out[v] = rng.sample(WEIRD_COLORS, rng.randint(1, 6))
+    return out
+
+
+def _instance(seed: int):
+    """One of the two paper families, frozen, plus its color budget."""
+    rng = random.Random(seed)
+    if rng.random() < 0.5:
+        n = rng.randint(20, 70)
+        return sparse.union_of_random_forests(n, 2, seed=seed).freeze(), 4
+    n = rng.randint(20, 60)
+    return planar.stacked_triangulation(n, seed=seed).freeze(), 6
+
+
+# -- FlatListAssignment vs naive set algebra --------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_flat_assignment_matches_set_algebra(seed):
+    graph, _d = _instance(seed)
+    lists = _weird_lists(seed, graph.vertices())
+    naive = {v: frozenset(colors) for v, colors in lists.items()}
+    flat = FlatListAssignment(lists)
+
+    assert flat.as_dict() == naive
+    assert flat.minimum_size() == min(len(c) for c in naive.values())
+    assert flat.palette() == frozenset().union(*naive.values())
+
+    rng = random.Random(seed + 1)
+    keep = {v for v in graph if rng.random() < 0.6}
+    assert flat.restrict(keep).as_dict() == {
+        v: c for v, c in naive.items() if v in keep
+    }
+
+    removals = {
+        v: rng.sample(WEIRD_COLORS, 2) for v in graph if rng.random() < 0.5
+    }
+    removed = flat.without_colors(removals)
+    for v, colors in naive.items():
+        expected = colors - frozenset(removals.get(v, ()))
+        assert removed[v] == expected
+
+    for size in (0, 1, 3):
+        truncated = flat.truncated(size)
+        for v, colors in naive.items():
+            ordered = sorted(colors, key=repr)
+            expected = (
+                frozenset(ordered[:size]) if len(ordered) > size else colors
+            )
+            assert truncated[v] == expected
+
+    coloring = {
+        v: rng.choice(sorted(naive[v], key=repr))
+        for v in graph
+        if naive[v] and rng.random() < 0.5
+    }
+    pruned = flat.pruned_by_coloring(graph, coloring)
+    for v, colors in naive.items():
+        if v in coloring:
+            assert v not in pruned
+            continue
+        used = {coloring[u] for u in graph.neighbors(v) if u in coloring}
+        assert pruned[v] == colors - used
+
+
+def test_universe_interning_is_repr_sorted():
+    universe = PaletteUniverse([3, "b", 1, (2,), "a", 10])
+    assert list(universe.colors) == sorted({3, "b", 1, (2,), "a", 10}, key=repr)
+    mask = universe.encode(["b", 1])
+    assert universe.decode(mask) == frozenset(["b", 1])
+    # the lowest set bit is the min-by-repr color: the tie-break the
+    # sequential solvers use
+    lowest = universe.color_of((mask & -mask).bit_length() - 1)
+    assert lowest == min(["b", 1], key=repr)
+
+
+def test_first_free_colors_kernel_paths():
+    """The batch tie-break kernel: int path and packed-rows path agree."""
+    import pytest
+
+    from repro.errors import ListAssignmentError
+
+    rng = random.Random(7)
+    vertices = [f"v{i}" for i in range(100)]
+    lists = {v: rng.sample(WEIRD_COLORS, rng.randint(1, 6)) for v in vertices}
+    flat = FlatListAssignment(lists)
+    used = [
+        flat.universe.encode(rng.sample(WEIRD_COLORS, 3), strict=False)
+        for _ in vertices
+    ]
+    keep = [v for v, u in zip(vertices, used) if flat.mask_of(v) & ~u]
+    kept_used = [u for v, u in zip(vertices, used) if flat.mask_of(v) & ~u]
+    batch = flat.first_free_colors(keep, kept_used)  # >= 32: packed path
+    for v, u, color in zip(keep, kept_used, batch):
+        expected = min(flat[v] - flat.universe.decode(u), key=repr)
+        assert color == expected
+        assert flat.first_free_colors([v], [u]) == [color]  # int path
+    empty_v = next(v for v in vertices if flat.mask_of(v))
+    with pytest.raises(ListAssignmentError):
+        flat.first_free_colors([empty_v], [flat.mask_of(empty_v)])
+
+
+def test_barenboim_elkin_flat_trailing_isolated_vertex():
+    """Regression: a zero-degree vertex at the last CSR index must not
+    crash the vectorized H-partition (reduceat empty-segment handling)."""
+    g = Graph(vertices=[0, 1, 2])
+    g.add_edge(0, 1)  # vertex 2 stays isolated
+    frozen = g.freeze()
+    a = barenboim_elkin_coloring(frozen, arboricity=1)
+    b = barenboim_elkin_coloring(frozen, arboricity=1, backend="flat")
+    assert a.coloring == b.coloring
+    assert a.rounds == b.rounds
+
+
+def test_empty_assignment_edge_cases():
+    flat = FlatListAssignment({})
+    assert len(flat) == 0
+    assert flat.minimum_size() == 0
+    assert flat.palette() == frozenset()
+    wrapped = ListAssignment({})
+    assert wrapped.get("missing") == frozenset()
+    assert wrapped.restrict([]).as_dict() == {}
+
+
+# -- classification and pipeline parity -------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), radius=st.sampled_from([1, 2, 4, None]))
+def test_classification_engines_agree(seed, radius):
+    graph, d = _instance(seed)
+    scan = classify_vertices(graph, d, radius=radius, engine="scan")
+    flat = classify_vertices(graph, d, radius=radius, engine="flat")
+    assert scan.happy == flat.happy
+    assert scan.sad == flat.sad
+    assert scan.poor == flat.poor
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), use_random_lists=st.booleans())
+def test_sparse_coloring_backends_bit_identical(seed, use_random_lists):
+    graph, d = _instance(seed)
+    lists = (
+        random_lists(graph, d, palette_size=2 * d, seed=seed)
+        if use_random_lists
+        else None
+    )
+    a = color_sparse_graph(graph, d, lists=lists, backend="dict")
+    b = color_sparse_graph(graph, d, lists=lists, backend="flat")
+    assert a.coloring == b.coloring
+    assert a.rounds == b.rounds
+    assert a.ledger.total() == b.ledger.total()
+    verify_list_coloring(
+        graph, b.coloring, lists if lists is not None else uniform_lists(graph, d)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_barenboim_elkin_backends_bit_identical(seed):
+    n = random.Random(seed).randint(30, 120)
+    graph = sparse.union_of_random_forests(n, 2, seed=seed).freeze()
+    a = barenboim_elkin_coloring(graph, arboricity=2)
+    b = barenboim_elkin_coloring(graph, arboricity=2, backend="flat")
+    assert a.coloring == b.coloring
+    assert a.rounds == b.rounds
+    assert a.ledger.total() == b.ledger.total()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_batched_delta_plus_one_parity(seed):
+    n = random.Random(seed).randint(10, 100)
+    graph = sparse.union_of_random_forests(n, 2, seed=seed).freeze()
+    a = delta_plus_one_coloring(graph)
+    b = delta_plus_one_coloring(graph, batched=True)
+    assert a.coloring == b.coloring
+    assert (a.rounds, a.messages, a.palette_size) == (
+        b.rounds, b.messages, b.palette_size
+    )
+
+
+# -- fast-path equivalences --------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_greedy_list_coloring_fast_path(seed):
+    graph, d = _instance(seed)
+    lists = random_lists(graph, d, palette_size=2 * d, seed=seed)
+    _, order = degeneracy_ordering(graph)
+    order = list(reversed(order))
+    fast = greedy_list_coloring(graph, lists, order)
+    # the slow path: same graph through the mutable representation
+    thawed = graph.thaw()
+    slow = greedy_list_coloring(thawed, lists, order)
+    assert fast == slow
+    assert respects_lists(fast, lists)
+
+
+def test_vectorized_properness_large_graph():
+    """n >= 128 exercises the CSR gather path of is_proper_coloring."""
+    from repro.coloring.greedy import greedy_coloring
+
+    graph = sparse.union_of_random_forests(500, 2, seed=3).freeze()
+    coloring = greedy_coloring(graph)
+    assert is_proper_coloring(graph, coloring)
+    assert coloring == greedy_coloring(graph.thaw())
+    u, v = next(iter(graph.edges()))
+    broken = dict(coloring)
+    broken[u] = broken[v]
+    assert not is_proper_coloring(graph, broken)
+    partial = {w: c for w, c in coloring.items() if w != u}
+    assert is_proper_coloring(graph, partial)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_verification_fast_paths(seed):
+    graph, d = _instance(seed)
+    lists = uniform_lists(graph, d)
+    coloring = color_sparse_graph(graph, d, backend="flat").coloring
+    assert is_proper_coloring(graph, coloring)
+    assert is_proper_coloring(graph.thaw(), coloring)
+    assert respects_lists(coloring, lists)
+    broken = dict(coloring)
+    u, v = next(iter(graph.edges()))
+    broken[u] = broken[v]
+    assert not is_proper_coloring(graph, broken)
+    assert not is_proper_coloring(graph.thaw(), broken)
+    outside = dict(coloring)
+    outside[u] = "not-a-color"
+    assert not respects_lists(outside, lists)
