@@ -71,6 +71,13 @@ class BatchTask:
     ``seed_arg`` is not ``None``, the runner injects the task's derived seed
     as ``kwargs[seed_arg]`` — generators and randomized algorithms stay
     reproducible without the benchmark wiring seeds by hand.
+
+    ``seed_group`` keys the derivation: by default every task derives from
+    its position in the list, but tasks sharing a group string (typically
+    the instance label) receive the *same* seed — how the backend/engine
+    A/B scenarios guarantee that every variant row of an instance measures
+    the same generated graph while ``--seed`` still reseeds the whole
+    sweep.
     """
 
     instance: str
@@ -79,11 +86,16 @@ class BatchTask:
     args: tuple = ()
     kwargs: dict[str, Any] = field(default_factory=dict)
     seed_arg: str | None = "seed"
+    seed_group: str | None = None
 
 
-def derive_seed(base_seed: int, index: int) -> int:
-    """Deterministic 63-bit per-task seed, stable across runs and platforms."""
-    digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
+def derive_seed(base_seed: int, key: "int | str") -> int:
+    """Deterministic 63-bit per-task seed, stable across runs and platforms.
+
+    ``key`` is the task's position in the batch, or its ``seed_group``
+    string when one is declared.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{key}".encode()).digest()
     return int.from_bytes(digest[:8], "big") >> 1
 
 
@@ -163,13 +175,15 @@ class ExperimentRunner:
         prepared: list[tuple[int, BatchTask]] = []
         for index, task in enumerate(tasks):
             if base_seed is not None and task.seed_arg is not None:
+                key = index if task.seed_group is None else task.seed_group
                 task = BatchTask(
                     instance=task.instance,
                     algorithm=task.algorithm,
                     fn=task.fn,
                     args=task.args,
-                    kwargs={**task.kwargs, task.seed_arg: derive_seed(base_seed, index)},
+                    kwargs={**task.kwargs, task.seed_arg: derive_seed(base_seed, key)},
                     seed_arg=task.seed_arg,
+                    seed_group=task.seed_group,
                 )
             prepared.append((index, task))
 

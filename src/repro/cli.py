@@ -1,21 +1,27 @@
 """``python -m repro`` — the reproduction's command line.
 
-Three subcommands drive the scenario registry
-(:mod:`repro.scenarios`):
+Four subcommands drive the scenario registry
+(:mod:`repro.scenarios`) and the conformance oracles (:mod:`repro.verify`):
 
 * ``list`` — show every registered scenario (name, paper statement,
   parameters) and the named campaigns;
 * ``run <scenario>`` — execute one scenario through the batched process-pool
   engine and export its ``BENCH_<scenario>.json`` artifact;
 * ``campaign [name]`` — run a named scenario set and merge the artifacts
-  into one ``BENCH_campaign_<name>.json``.
+  into one ``BENCH_campaign_<name>.json``;
+* ``verify [artifacts...]`` — replay the conformance oracle suite (schema,
+  paper budgets, cross-variant parity, round envelopes) against existing
+  BENCH artifacts, or — with ``--smoke`` — against a freshly run smoke
+  campaign.  This is the CI gate documented in ``docs/verification.md``.
 
 Examples::
 
     python -m repro list
-    python -m repro run theorem13-colors --smoke
+    python -m repro run theorem13-colors --smoke --verify
     python -m repro run theorem13-rounds --n 60,120,240 --seed 7 --profile
     python -m repro campaign --smoke --out artifacts/
+    python -m repro verify BENCH_coloring.json
+    python -m repro verify --smoke --out ci-artifacts/
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import ast
 import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 from typing import Any
 
 from repro.scenarios import (
@@ -104,6 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override any scenario parameter (repeatable)")
     p_run.add_argument("--no-check", action="store_true",
                        help="report paper-reference check failures without failing")
+    p_run.add_argument("--verify", action="store_true",
+                       help="replay the conformance oracle suite on the artifact")
     p_run.add_argument("--quiet", action="store_true", help="suppress the result table")
 
     p_camp = sub.add_parser("campaign", help="run a named scenario set, merge artifacts")
@@ -119,6 +128,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--only", default=None, metavar="NAME[,NAME...]",
                         help="restrict the campaign to a subset of its scenarios")
     p_camp.add_argument("--no-check", action="store_true")
+    p_camp.add_argument("--verify", action="store_true",
+                        help="replay the conformance oracle suite on every artifact")
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="replay the conformance oracle suite on BENCH artifacts",
+    )
+    p_verify.add_argument(
+        "artifacts", nargs="*",
+        help="BENCH_*.json paths (campaign merges are unpacked); omit with --smoke",
+    )
+    p_verify.add_argument(
+        "--smoke", action="store_true",
+        help="first run the smoke campaign (inline) and verify its artifacts",
+    )
+    p_verify.add_argument("--out", default="verify-artifacts",
+                          help="artifact directory for --smoke (default: verify-artifacts/)")
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument("--campaign", default="all", dest="campaign_name",
+                          help="campaign to run under --smoke (default: all)")
+    p_verify.add_argument("--quiet", action="store_true",
+                          help="only report failures")
     return parser
 
 
@@ -172,6 +203,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         out=args.out,
         strict=False,
         repeat=args.repeat,
+        verify=args.verify,
     )
     if not args.quiet:
         run.runner.print_table()
@@ -212,6 +244,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         out=args.out,
         strict=False,
         progress=lambda name: print(f"[campaign {args.name}] running {name} ..."),
+        verify=args.verify,
     )
     print(f"\n{'scenario':<24} {'rows':>5} {'seconds':>8}  checks")
     for run in campaign.runs:
@@ -227,6 +260,74 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _iter_artifacts(path: Path) -> list[tuple[str, dict]]:
+    """Load one BENCH file; campaign merges unpack into their members."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ScenarioError(f"cannot read artifact {path}: {exc}") from None
+    if isinstance(payload, dict) and isinstance(payload.get("scenarios"), dict):
+        return [
+            (f"{path.name}::{name}", artifact)
+            for name, artifact in sorted(payload["scenarios"].items())
+        ]
+    return [(path.name, payload)]
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.artifact import artifact_failures
+
+    paths = [Path(p) for p in args.artifacts]
+    if args.smoke:
+        try:
+            members = CAMPAIGNS[args.campaign_name]
+        except KeyError:
+            raise ScenarioError(
+                f"unknown campaign {args.campaign_name!r}; "
+                f"known campaigns: {', '.join(CAMPAIGNS)}"
+            ) from None
+        out_dir = Path(args.out)
+        # verify=False here: the post-hoc replay below re-checks every
+        # exported artifact anyway (the stronger, file-level check), so
+        # running the suite inside the campaign too would be double work
+        campaign = run_campaign(
+            members,
+            campaign=args.campaign_name,
+            smoke=True,
+            seed=args.seed,
+            workers=1,
+            out=out_dir,
+            strict=False,
+            progress=None if args.quiet else (
+                lambda name: print(f"[verify --smoke] running {name} ...")
+            ),
+        )
+        paths = [run.path for run in campaign.runs if run.path is not None] + paths
+    if not paths:
+        raise ScenarioError("verify needs artifact paths (or --smoke)")
+
+    total_failures = 0
+    checked = 0
+    for path in paths:
+        for label, artifact in _iter_artifacts(path):
+            checked += 1
+            failures = artifact_failures(artifact)
+            total_failures += len(failures)
+            if failures:
+                print(f"FAIL {label}: {len(failures)} oracle failure(s)")
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+            elif not args.quiet:
+                print(f"ok   {label}")
+    if not args.quiet:
+        print(
+            f"\nverified {checked} artifact(s): "
+            + ("all oracles passed" if not total_failures
+               else f"{total_failures} failure(s)")
+        )
+    return 1 if total_failures else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -234,6 +335,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
         return _cmd_campaign(args)
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -372,8 +372,18 @@ class FlatListAssignment:
         )
 
     def truncated(self, size: int) -> "FlatListAssignment":
-        """Keep only the ``size`` lowest bits per list (= smallest by repr)."""
-        size = max(size, 0)
+        """Keep only the ``size`` lowest bits per list (= smallest by repr).
+
+        ``size`` must be non-negative — a negative truncation silently
+        emptying every list is exactly the kind of vacuous-witness bug the
+        conformance oracles exist to catch, so it raises instead.
+        """
+        if size < 0:
+            from repro.errors import ListAssignmentError
+
+            raise ListAssignmentError(
+                f"cannot truncate lists to negative size {size}"
+            )
         out = []
         for mask in self._masks:
             if mask.bit_count() > size:

@@ -1,0 +1,32 @@
+"""Seeded, content-addressed instance corpus (see ``docs/verification.md``).
+
+``repro.corpus`` gives every suite — tests, scenarios, benchmarks, the
+locality audits — the *same* named instances instead of ad-hoc
+regeneration: :class:`InstanceSpec` pins a generator family + parameters +
+seed, :func:`graph_digest` fingerprints the generated graph, and
+:class:`InstanceCorpus` materializes specs lazily with optional disk
+caching (``REPRO_CORPUS_DIR``).  The golden seed-stability tests pin the
+digests of :data:`STANDARD_INSTANCES` so generator drift fails loudly.
+"""
+
+from repro.corpus.instances import (
+    FAMILIES,
+    Family,
+    InstanceCorpus,
+    InstanceSpec,
+    STANDARD_INSTANCES,
+    default_corpus,
+    graph_digest,
+    standard_instance,
+)
+
+__all__ = [
+    "FAMILIES",
+    "Family",
+    "InstanceCorpus",
+    "InstanceSpec",
+    "STANDARD_INSTANCES",
+    "default_corpus",
+    "graph_digest",
+    "standard_instance",
+]

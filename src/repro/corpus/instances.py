@@ -1,0 +1,298 @@
+"""The content-addressed instance corpus.
+
+Tests, scenarios and benchmarks used to regenerate graphs ad hoc, each with
+its own seed conventions; the corpus replaces that with *named, seeded,
+content-addressed* instances:
+
+* an :class:`InstanceSpec` pins a generator family, its parameters and a
+  seed; its canonical name (``family/k=v,...``) doubles as the cache key;
+* :func:`graph_digest` fingerprints the *generated graph itself* (an
+  order-independent SHA-256 over vertices and edges), so the golden tests
+  can pin digests and any silent generator drift fails loudly;
+* :class:`InstanceCorpus` materializes specs lazily, memoizes frozen views
+  in memory, and (optionally) caches generated graphs on disk — keyed by
+  the spec digest, validated against the content digest on load, and
+  written atomically so parallel workers can share one cache directory.
+
+The generator matrix (:data:`FAMILIES`) spans every family the paper's
+experiments draw from: planar triangulations, bounded-mad/degenerate
+graphs, forest unions, surface grids, k-trees, power-law graphs, plus the
+deterministic classics (paths, grids, toruses) and the degenerate edge
+cases (empty and single-vertex instances) that once lived only in bug
+reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import GeneratorError
+from repro.graphs.frozen import FrozenGraph, freeze
+from repro.graphs.graph import Graph
+from repro.graphs.generators import classic, planar, sparse, surfaces
+
+__all__ = [
+    "Family",
+    "FAMILIES",
+    "InstanceSpec",
+    "graph_digest",
+    "InstanceCorpus",
+    "default_corpus",
+    "STANDARD_INSTANCES",
+    "standard_instance",
+]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One generator family of the corpus matrix."""
+
+    name: str
+    builder: Callable[..., Graph]
+    description: str
+    #: whether the builder takes a ``seed`` keyword (deterministic
+    #: constructions like grids and toruses do not)
+    seeded: bool = True
+
+
+FAMILIES: dict[str, Family] = {
+    family.name: family
+    for family in (
+        Family("planar-tri", planar.stacked_triangulation,
+               "stacked planar triangulation (Apollonian), mad < 6", True),
+        Family("bounded-mad", sparse.random_degenerate_graph,
+               "random k-degenerate graph, mad <= 2k", True),
+        Family("forest-union", sparse.union_of_random_forests,
+               "union of random spanning forests, arboricity <= a", True),
+        Family("k-tree", sparse.random_k_tree,
+               "random k-tree: maximal treewidth-k, (k+1)-clique witness", True),
+        Family("power-law", sparse.preferential_attachment,
+               "preferential attachment, heavy-tailed degrees, m-degenerate", True),
+        Family("regular", classic.random_regular_graph,
+               "random d-regular graph (configuration model)", True),
+        Family("torus", surfaces.toroidal_triangular_grid,
+               "6-regular toroidal triangular grid (Euler genus 2)", False),
+        Family("klein", surfaces.klein_bottle_grid,
+               "Klein-bottle grid of the lower-bound constructions", False),
+        Family("grid", classic.grid_2d,
+               "planar rectangular grid (bipartite, girth 4)", False),
+        Family("path", classic.path, "path on n vertices", False),
+        Family("empty", classic.empty_graph, "n isolated vertices", False),
+    )
+}
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A generator family plus pinned parameters: one corpus instance.
+
+    ``params`` are the builder's keyword arguments (the seed included, for
+    seeded families).  The canonical ``name`` — ``family/k=v,...`` with
+    keys sorted — is the corpus naming scheme documented in
+    ``docs/verification.md``; ``spec_key`` is its SHA-256 prefix, used as
+    the content address of the disk cache.
+    """
+
+    family: str
+    params: tuple[tuple[str, Any], ...] = field(default=())
+
+    @classmethod
+    def of(cls, family: str, **params: Any) -> "InstanceSpec":
+        if family not in FAMILIES:
+            raise GeneratorError(
+                f"unknown corpus family {family!r}; known: {sorted(FAMILIES)}"
+            )
+        return cls(family=family, params=tuple(sorted(params.items())))
+
+    @property
+    def name(self) -> str:
+        inner = ",".join(f"{k}={v!r}" for k, v in self.params)
+        return f"{self.family}/{inner}" if inner else self.family
+
+    @property
+    def spec_key(self) -> str:
+        payload = json.dumps(
+            {"family": self.family, "params": [[k, repr(v)] for k, v in self.params]},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def build(self) -> Graph:
+        """Generate a fresh mutable graph for this spec."""
+        return FAMILIES[self.family].builder(**dict(self.params))
+
+
+def graph_digest(graph) -> str:
+    """Order-independent SHA-256 fingerprint of a graph's vertices and edges.
+
+    Stable across vertex orderings, freezes and (de)serialization round
+    trips — two graphs share a digest iff they have the same labelled
+    vertex and edge sets.  This is the value the golden seed-stability
+    tests pin per corpus instance.
+    """
+    h = hashlib.sha256()
+    for v in sorted(map(repr, graph.vertices())):
+        h.update(b"v")
+        h.update(v.encode())
+    for u, v in sorted(
+        tuple(sorted((repr(a), repr(b)))) for a, b in graph.edges()
+    ):
+        h.update(b"e")
+        h.update(u.encode())
+        h.update(b"\x1f")
+        h.update(v.encode())
+    return h.hexdigest()[:16]
+
+
+def _roundtrippable(value: Any) -> bool:
+    try:
+        return ast.literal_eval(repr(value)) == value
+    except (ValueError, SyntaxError):
+        return False
+
+
+def _encode_graph(spec: InstanceSpec, graph: Graph) -> dict[str, Any]:
+    # name and metadata ride along so a warm-cache load is observably
+    # identical to a cold generation (generators record certified bounds
+    # like mad/arboricity in metadata); values that cannot survive the
+    # repr/literal_eval round trip are dropped rather than corrupted
+    return {
+        "schema_version": 1,
+        "spec": {"family": spec.family, "params": [[k, repr(v)] for k, v in spec.params]},
+        "name": spec.name,
+        "graph_name": graph.name,
+        "metadata": {
+            str(k): repr(v) for k, v in graph.metadata.items() if _roundtrippable(v)
+        },
+        "digest": graph_digest(graph),
+        "vertices": sorted(map(repr, graph.vertices())),
+        "edges": sorted(
+            sorted((repr(a), repr(b))) for a, b in graph.edges()
+        ),
+    }
+
+
+def _decode_graph(payload: Mapping[str, Any], name: str) -> Graph:
+    graph = Graph(name=payload.get("graph_name", name))
+    for encoded in payload["vertices"]:
+        graph.add_vertex(ast.literal_eval(encoded))
+    for encoded_u, encoded_v in payload["edges"]:
+        graph.add_edge(ast.literal_eval(encoded_u), ast.literal_eval(encoded_v))
+    for key, encoded in payload.get("metadata", {}).items():
+        graph.metadata[key] = ast.literal_eval(encoded)
+    return graph
+
+
+class InstanceCorpus:
+    """Lazy, memoizing, optionally disk-backed corpus of named instances.
+
+    ``cache_dir`` enables the disk layer (one JSON file per spec,
+    content-addressed by ``spec_key``); it defaults to the
+    ``REPRO_CORPUS_DIR`` environment variable and stays purely in-memory
+    when neither is set.  Cached files are validated against their stored
+    content digest on load — a corrupted or stale file is silently
+    regenerated, never trusted.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_CORPUS_DIR") or None
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._frozen: dict[InstanceSpec, FrozenGraph] = {}
+
+    # ------------------------------------------------------------------
+    def build(self, spec: InstanceSpec) -> Graph:
+        """A fresh *mutable* graph for the spec (cache-backed, never shared)."""
+        cached = self._load(spec)
+        if cached is not None:
+            return cached
+        graph = spec.build()
+        self._store(spec, graph)
+        return graph
+
+    def frozen(self, spec: InstanceSpec) -> FrozenGraph:
+        """The memoized frozen view of the spec (shared; treat as immutable)."""
+        view = self._frozen.get(spec)
+        if view is None:
+            view = freeze(self.build(spec))
+            self._frozen[spec] = view
+        return view
+
+    def digest(self, spec: InstanceSpec) -> str:
+        """The content digest of the spec's graph."""
+        return graph_digest(self.frozen(spec))
+
+    # ------------------------------------------------------------------
+    def _path(self, spec: InstanceSpec) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.family}-{spec.spec_key}.json"
+
+    def _load(self, spec: InstanceSpec) -> Graph | None:
+        path = self._path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            graph = _decode_graph(payload, spec.name)
+            if graph_digest(graph) != payload.get("digest"):
+                return None  # corrupted or stale: fall through to regenerate
+            return graph
+        except (OSError, ValueError, KeyError, SyntaxError):
+            return None
+
+    def _store(self, spec: InstanceSpec, graph: Graph) -> None:
+        path = self._path(spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(_encode_graph(spec, graph), sort_keys=True) + "\n"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)  # atomic: parallel workers race benignly
+
+
+_DEFAULT: InstanceCorpus | None = None
+
+
+def default_corpus() -> InstanceCorpus:
+    """The process-wide corpus (honours ``REPRO_CORPUS_DIR``)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = InstanceCorpus()
+    return _DEFAULT
+
+
+#: The standard named set: small instances every suite draws identically.
+#: Golden tests pin each instance's content digest *and* per-algorithm
+#: results, so a substrate refactor that silently changes outputs fails.
+STANDARD_INSTANCES: dict[str, InstanceSpec] = {
+    "planar-tri-60-s3": InstanceSpec.of("planar-tri", n_vertices=60, seed=3),
+    "bounded-mad-64-k2-s5": InstanceSpec.of("bounded-mad", n=64, degeneracy=2, seed=5),
+    "forest-union-80-a2-s1": InstanceSpec.of("forest-union", n=80, arboricity=2, seed=1),
+    "k-tree-48-k3-s2": InstanceSpec.of("k-tree", n=48, k=3, seed=2),
+    "power-law-72-m2-s4": InstanceSpec.of("power-law", n=72, m=2, seed=4),
+    "regular-40-d4-s7": InstanceSpec.of("regular", n=40, d=4, seed=7),
+    "torus-6x8": InstanceSpec.of("torus", k=6, l=8),
+    "grid-6x10": InstanceSpec.of("grid", rows=6, cols=10),
+    "path-33": InstanceSpec.of("path", n=33),
+    "single-vertex": InstanceSpec.of("empty", n=1),
+    "empty-0": InstanceSpec.of("empty", n=0),
+}
+
+
+def standard_instance(name: str) -> InstanceSpec:
+    """Look up a standard instance by its corpus name."""
+    try:
+        return STANDARD_INSTANCES[name]
+    except KeyError:
+        raise GeneratorError(
+            f"unknown standard instance {name!r}; known: {sorted(STANDARD_INSTANCES)}"
+        ) from None

@@ -81,14 +81,19 @@ class BarenboimElkinResult:
 class BatchSlotColorSelection(BatchNodeAlgorithm):
     """The slot phase of Barenboim–Elkin as a batched node program.
 
-    Input (per node): ``(class_index, slot, palette_size)``.  The global
-    schedule — classes in decreasing order, slots ``0..max_slot`` within
-    each class — is a deterministic function of the inputs, so every node
-    (and the one batched instance driving them) derives it locally.  In
-    round ``r`` the scheduled ``(class, slot)`` cohort — a stable set, the
-    slots being a proper coloring of their class — simultaneously picks
-    the smallest palette color not used by a colored neighbour, while all
-    nodes broadcast their current color (0 encodes "uncolored").  This is
+    Input (per node): ``(class_index, slot, palette_size, slot_counts)``
+    where ``slot_counts`` is the per-class tuple of slot-cohort sizes.  The
+    last two fields are the same for every node — like ``n``, they are
+    global knowledge the driver announces to all nodes — so the global
+    schedule (classes in decreasing order, slots ``0..slot_counts[c]-1``
+    within each class) is a deterministic function of each node's *own*
+    input.  Deriving it from the observed maxima instead would silently
+    read global structure no message-passing node could know, which the
+    locality auditor of :mod:`repro.verify.locality` flags.  In round ``r``
+    the scheduled ``(class, slot)`` cohort — a stable set, the slots being
+    a proper coloring of their class — simultaneously picks the smallest
+    palette color not used by a colored neighbour, while all nodes
+    broadcast their current color (0 encodes "uncolored").  This is
     exactly the sequential sweep of the dict backend; one simulator round
     per (class, slot) pair keeps the charged-round accounting identical.
 
@@ -105,11 +110,12 @@ class BatchSlotColorSelection(BatchNodeAlgorithm):
         inputs = context.inputs
         if not inputs:
             return False
-        palettes = {p for (_c, _s, p) in inputs}
+        palettes = {p for (_c, _s, p, _sc) in inputs}
+        schedules = {sc for (_c, _s, _p, sc) in inputs}
         # < 62, not < 63: on an underestimated arboricity a node can see
         # all palette colors used, and lowest_free_bit needs bit 62 clear
         # in that saturated mask to report the out-of-palette overflow
-        return len(palettes) == 1 and max(palettes) < 62
+        return len(palettes) == 1 and len(schedules) == 1 and max(palettes) < 62
 
     def initialize_batch(self, context: BatchContext) -> None:
         import numpy as np
@@ -117,19 +123,17 @@ class BatchSlotColorSelection(BatchNodeAlgorithm):
         super().initialize_batch(context)
         self._np = np
         inputs = context.inputs
-        self.class_of = np.asarray([c for (c, _s, _p) in inputs], dtype=np.int64)
-        self.slot_of = np.asarray([s for (_c, s, _p) in inputs], dtype=np.int64)
+        self.class_of = np.asarray([c for (c, _s, _p, _sc) in inputs], dtype=np.int64)
+        self.slot_of = np.asarray([s for (_c, s, _p, _sc) in inputs], dtype=np.int64)
         self.palette_size = int(inputs[0][2]) if inputs else 0
         # schedule: classes from the last down to 0, slots ascending within
-        # each class (slot counts per class come from the slot coloring)
+        # each class, sized by the announced per-class slot counts
+        slot_counts = tuple(inputs[0][3]) if inputs else ()
         schedule: list[tuple[int, int]] = []
-        if len(inputs):
-            for class_index in range(int(self.class_of.max()), -1, -1):
-                members = self.slot_of[self.class_of == class_index]
-                slot_count = int(members.max()) + 1 if members.size else 1
-                schedule.extend(
-                    (class_index, slot) for slot in range(slot_count)
-                )
+        for class_index in range(len(slot_counts) - 1, -1, -1):
+            schedule.extend(
+                (class_index, slot) for slot in range(slot_counts[class_index])
+            )
         self.schedule = schedule
         self.step = 0
         self.colors = np.zeros(context.n, dtype=np.int64)  # 0 = uncolored
@@ -308,7 +312,8 @@ def _barenboim_elkin_flat(
 
     # per-class slot colorings, processed (and charged) last class first —
     # the same order the dict backend sweeps them
-    slot_inputs: dict[Vertex, tuple[int, int, int]] = {}
+    slot_of: dict[Vertex, tuple[int, int]] = {}
+    slot_counts = [1] * len(partition.classes)
     for class_index in range(len(partition.classes) - 1, -1, -1):
         members = partition.classes[class_index]
         class_graph = frozen.subgraph(members)
@@ -319,8 +324,18 @@ def _barenboim_elkin_flat(
             reference="within-class (Δ+1)-coloring",
         )
         total_rounds += slots.rounds
+        slot_counts[class_index] = max(slots.coloring.values(), default=0) + 1
         for v in members:
-            slot_inputs[v] = (class_index, slots.coloring[v], palette_size)
+            slot_of[v] = (class_index, slots.coloring[v])
+
+    # the schedule constants are broadcast to every node as part of its
+    # input (global knowledge, like n), so the batched program can derive
+    # the cohort schedule without peeking at the whole input array
+    announced = tuple(slot_counts)
+    slot_inputs = {
+        v: (class_index, slot, palette_size, announced)
+        for v, (class_index, slot) in slot_of.items()
+    }
 
     run = run_node_algorithm(
         frozen,

@@ -193,7 +193,10 @@ class BatchColeVishkinForestColoring(BatchNodeAlgorithm):
             [0 if p is None else int(p) for p in context.inputs], dtype=np.int64
         )
         self.parent_slot = np.full(n, -1, dtype=np.int64)
-        self.cv_iterations = cole_vishkin_iterations(n)
+        # the iteration count must come from the *announced* n (known_n), not
+        # the array length: on a truncated r-ball network the two differ and
+        # every node must still run the schedule of the full network
+        self.cv_iterations = cole_vishkin_iterations(context.known_n)
         self.phase = "discover"
         self.cv_done = 0
         self.reduction_target = 5

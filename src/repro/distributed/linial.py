@@ -179,10 +179,13 @@ class BatchLinialColoringAlgorithm(BatchNodeAlgorithm):
         super().initialize_batch(context)
         self._np = np
         self.max_degree = int(context.inputs[0]) if context.inputs else 1
-        self.schedule = linial_schedule(context.n, self.max_degree)
+        # schedule and initial palette come from the announced n and the
+        # identifiers, never from the array length — this keeps the batched
+        # port locality-faithful on truncated r-ball networks
+        self.schedule = linial_schedule(context.known_n, self.max_degree)
         self.step = 0
-        self.colors = np.arange(context.n, dtype=np.int64)
-        self.palette = max(context.n, 2)
+        self.colors = np.asarray(context.identifiers, dtype=np.int64) - 1
+        self.palette = max(context.known_n, 2)
         self._src = context.sources
         self._endpoints = context.endpoints
 

@@ -49,5 +49,18 @@ class LowerBoundError(ReproError):
     """Raised when a lower-bound certificate cannot be established."""
 
 
+class VerificationError(ReproError):
+    """Raised when a conformance oracle rejects a witness.
+
+    Carries the failing :class:`repro.verify.oracle.Verdict` (when raised
+    through :meth:`Verdict.raise_if_failed`) so callers can inspect the
+    precise diagnostics programmatically.
+    """
+
+    def __init__(self, message: str, verdict=None):
+        self.verdict = verdict
+        super().__init__(message)
+
+
 class GeneratorError(GraphError):
     """Raised when a graph generator is given inconsistent parameters."""

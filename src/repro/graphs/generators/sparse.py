@@ -29,6 +29,8 @@ __all__ = [
     "random_bounded_mad_graph",
     "near_regular_sparse_graph",
     "forest_with_extra_edges",
+    "random_k_tree",
+    "preferential_attachment",
 ]
 
 
@@ -46,7 +48,8 @@ def union_of_random_forests(
     Parameters
     ----------
     n:
-        Number of vertices.
+        Number of vertices (``n <= 1`` degenerates to an edgeless graph —
+        a forest on one or zero vertices is still a forest).
     arboricity:
         Number of forests to overlay.
     edge_density:
@@ -54,14 +57,18 @@ def union_of_random_forests(
     seed:
         Randomness seed.
     """
-    if n < 2:
-        raise GeneratorError("need at least 2 vertices")
+    if n < 0:
+        raise GeneratorError("n must be non-negative")
     if arboricity < 1:
         raise GeneratorError("arboricity must be at least 1")
     if not 0.0 < edge_density <= 1.0:
         raise GeneratorError("edge_density must lie in (0, 1]")
     rng = random.Random(seed)
     g = Graph(vertices=range(n), name=f"forest_union_{n}_a{arboricity}")
+    if n < 2:  # a forest on <= 1 vertex has no edges
+        g.metadata["arboricity_upper_bound"] = arboricity
+        g.metadata["mad_upper_bound"] = 2 * arboricity
+        return g
     for _ in range(arboricity):
         order = list(range(n))
         rng.shuffle(order)
@@ -185,6 +192,87 @@ def near_regular_sparse_graph(
             return g
         rng.random()
     raise GeneratorError("could not avoid a (d+1)-clique; increase n")
+
+
+def random_k_tree(n: int, k: int, seed: int | None = None) -> Graph:
+    """Random ``k``-tree on ``n`` vertices (a maximal graph of treewidth ``k``).
+
+    Start from a ``(k+1)``-clique and repeatedly attach a new vertex to a
+    uniformly chosen existing ``k``-clique (a face of the construction).
+    ``k``-trees are exactly the maximal ``k``-degenerate chordal graphs:
+    planar 3-trees (``k = 3`` minus one) are the stacked triangulations the
+    paper's planar experiments use, and general ``k`` gives the corpus a
+    dense-but-degenerate family with ``mad < 2k`` and a guaranteed
+    ``(k+1)``-clique — the witness side of Theorem 1.3's dichotomy.
+
+    ``n <= k + 1`` degenerates to the complete graph ``K_n``.
+    """
+    if n < 1:
+        raise GeneratorError("need at least one vertex")
+    if k < 1:
+        raise GeneratorError("k must be at least 1")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n), name=f"ktree_{n}_k{k}")
+    base = list(range(min(n, k + 1)))
+    for i, u in enumerate(base):
+        for v in base[i + 1:]:
+            g.add_edge(u, v)
+    if n <= k + 1:
+        g.metadata["degeneracy_upper_bound"] = max(0, n - 1)
+        return g
+    cliques: list[tuple[int, ...]] = [
+        tuple(c for j, c in enumerate(base) if j != drop)
+        for drop in range(k + 1)
+    ]
+    for v in range(k + 1, n):
+        face = cliques[rng.randrange(len(cliques))]
+        for u in face:
+            g.add_edge(u, v)
+        cliques.extend(
+            tuple(c for j, c in enumerate(face) if j != drop) + (v,)
+            for drop in range(k)
+        )
+    g.metadata["degeneracy_upper_bound"] = k
+    g.metadata["mad_upper_bound"] = 2 * k
+    g.metadata["clique_number"] = k + 1
+    return g
+
+
+def preferential_attachment(n: int, m: int, seed: int | None = None) -> Graph:
+    """Barabási–Albert-style power-law graph: each new vertex picks ``m`` targets.
+
+    Vertices arrive one at a time and connect to ``m`` distinct existing
+    vertices sampled proportionally to degree (the classical repeated-stub
+    urn), producing the heavy-tailed degree distributions the sparse
+    pipelines never see from the forest/planar families.  The result is
+    ``m``-degenerate by construction (every vertex has at most ``m``
+    earlier neighbours), so ``mad <= 2m`` and the Theorem 1.3 driver's
+    promise holds with ``d >= 2m``.
+    """
+    if n < 1:
+        raise GeneratorError("need at least one vertex")
+    if m < 1:
+        raise GeneratorError("m must be at least 1")
+    rng = random.Random(seed)
+    g = Graph(vertices=range(n), name=f"powerlaw_{n}_m{m}")
+    # the degree-proportional urn: every edge endpoint is one ball
+    urn: list[int] = [0]
+    for v in range(1, n):
+        count = min(m, v)
+        targets: set[int] = set()
+        guard = 0
+        while len(targets) < count and guard < 50 * count + 50:
+            guard += 1
+            targets.add(urn[rng.randrange(len(urn))])
+        while len(targets) < count:  # degenerate urn: fill deterministically
+            targets.add(next(u for u in range(v) if u not in targets))
+        for u in targets:
+            g.add_edge(u, v)
+            urn.append(u)
+            urn.append(v)
+    g.metadata["degeneracy_upper_bound"] = m
+    g.metadata["mad_upper_bound"] = 2 * m
+    return g
 
 
 def forest_with_extra_edges(

@@ -156,24 +156,69 @@ def _fabric_from_csr(offsets_np, endpoints_np, lists: tuple[list[int], list[int]
 
 
 class Network:
-    """A port-numbered network over an input graph."""
+    """A port-numbered network over an input graph.
 
-    def __init__(self, graph: GraphLike, identifier_order: list[Vertex] | None = None):
+    By default identifiers are ``1..n`` following the graph's vertex order
+    (``identifier_order`` permutes that assignment).  Two keyword-only
+    extensions support *truncated* networks — the locality auditor of
+    :mod:`repro.verify.locality` re-runs node programs on r-ball subgraphs
+    that must be indistinguishable from the full network:
+
+    * ``identifiers`` — an explicit vertex -> identifier mapping (distinct
+      positive ints, not necessarily ``1..n``).  Ports still enumerate
+      neighbours in increasing identifier order, so an interior vertex of a
+      ball subgraph sees the exact port numbering it had in the full graph.
+    * ``declared_n`` — the value of ``n`` announced to the node programs
+      (:attr:`n`), defaulting to the actual vertex count.  Algorithms whose
+      schedules depend on ``n`` (Cole–Vishkin iterations, Linial parameter
+      triples) then behave as if they ran in the full network.
+    """
+
+    def __init__(
+        self,
+        graph: GraphLike,
+        identifier_order: list[Vertex] | None = None,
+        *,
+        identifiers: Mapping[Vertex, int] | None = None,
+        declared_n: int | None = None,
+    ):
         self.graph = graph
-        if identifier_order is None:
-            order = graph.vertices()
+        if identifiers is not None:
+            if identifier_order is not None:
+                raise ValueError("pass identifier_order or identifiers, not both")
+            if set(identifiers) != set(graph.vertices()):
+                raise ValueError("identifiers must cover exactly the vertices")
+            ids = {v: int(i) for v, i in identifiers.items()}
+            if len(set(ids.values())) != len(ids) or (ids and min(ids.values()) < 1):
+                raise ValueError("identifiers must be distinct positive integers")
+            # ports enumerate neighbours by increasing identifier, exactly
+            # like the default 1..n assignment enumerates them by index
+            order = sorted(ids, key=ids.__getitem__)
+            self.identifier_of = ids
+            self._default_order = False
         else:
-            order = list(identifier_order)
-            if set(order) != set(graph.vertices()):
-                raise ValueError("identifier_order must be a permutation of the vertices")
+            if identifier_order is None:
+                order = graph.vertices()
+            else:
+                order = list(identifier_order)
+                if set(order) != set(graph.vertices()):
+                    raise ValueError("identifier_order must be a permutation of the vertices")
+            self.identifier_of = {v: i + 1 for i, v in enumerate(order)}
+            self._default_order = identifier_order is None
         self._order: list[Vertex] = order
-        self._default_order = identifier_order is None
-        self.identifier_of: dict[Vertex, int] = {
-            v: i + 1 for i, v in enumerate(order)
-        }
         self.vertex_of: dict[int, Vertex] = {
-            i + 1: v for i, v in enumerate(order)
+            i: v for v, i in self.identifier_of.items()
         }
+        self._index: dict[Vertex, int] = {v: i for i, v in enumerate(order)}
+        self.identifiers_list: list[int] = [self.identifier_of[v] for v in order]
+        if declared_n is None:
+            self.declared_n = len(order)
+        else:
+            self.declared_n = int(declared_n)
+            if self.declared_n < len(order):
+                raise ValueError("declared_n must be at least the vertex count")
+        if self.identifiers_list and max(self.identifiers_list) > self.declared_n:
+            raise ValueError("identifiers must lie in 1..declared_n")
         self._fabric: RoutingFabric | None = None
         self._ports: dict[Vertex, list[Vertex]] | None = None
         self._port_of: dict[Vertex, dict[Vertex, int]] | None = None
@@ -242,15 +287,16 @@ class Network:
 
     @property
     def n(self) -> int:
-        return len(self._order)
+        """The ``n`` known to every node (``declared_n``; the vertex count by default)."""
+        return self.declared_n
 
     def degree(self, v: Vertex) -> int:
-        i = self.identifier_of[v] - 1
+        i = self._index[v]
         fabric = self.fabric
         return fabric.offsets[i + 1] - fabric.offsets[i]
 
     def neighbor_on_port(self, v: Vertex, port: int) -> Vertex:
-        i = self.identifier_of[v] - 1
+        i = self._index[v]
         fabric = self.fabric
         base = fabric.offsets[i]
         if not 0 <= port < fabric.offsets[i + 1] - base:

@@ -120,7 +120,7 @@ class BatchContext:
     """
 
     n: int
-    identifiers: Any  # int64[n], values 1..n
+    identifiers: Any  # int64[n], distinct values in 1..declared_n (1..n by default)
     degrees: Any  # int64[n]
     offsets: Any  # int64[n+1]
     endpoints: Any  # int64[num_slots]
@@ -128,10 +128,20 @@ class BatchContext:
     sources: Any = None  # int64[num_slots]: source node index of each slot
     inputs: list[Any] = field(default_factory=list)
     network: Any = None
+    #: the ``n`` announced to the nodes; differs from :attr:`n` only on
+    #: truncated networks (the locality auditor's r-ball re-runs).  Batched
+    #: programs must derive n-dependent schedules from this, never from the
+    #: array length, or they stop being locality-faithful.
+    declared_n: int | None = None
 
     @property
     def num_slots(self) -> int:
         return len(self.endpoints)
+
+    @property
+    def known_n(self) -> int:
+        """The ``n`` a node program should reason with (``declared_n`` or ``n``)."""
+        return self.n if self.declared_n is None else self.declared_n
 
 
 class BatchNodeAlgorithm:

@@ -140,6 +140,8 @@ class SynchronousSimulator:
         reverse_slot = fabric.reverse_slot
         labels = network.labels
         n = fabric.n
+        identifiers = network.identifiers_list
+        declared_n = network.declared_n
         inputs_list = network.inputs_list(inputs)
 
         nodes: list[NodeAlgorithm] = []
@@ -147,8 +149,8 @@ class SynchronousSimulator:
             node = first if i == 0 else algorithm_factory()
             node.initialize(
                 NodeContext(
-                    identifier=i + 1,
-                    n=n,
+                    identifier=identifiers[i],
+                    n=declared_n,
                     degree=fabric.degrees[i],
                     input=inputs_list[i],
                 )
@@ -222,8 +224,9 @@ class SynchronousSimulator:
     ) -> SimulationError:
         label = self.network.labels[index]
         if debug:
+            identifier = self.network.identifiers_list[index]
             return SimulationError(
-                f"node {label!r} (identifier {index + 1}) sent on invalid "
+                f"node {label!r} (identifier {identifier}) sent on invalid "
                 f"port {port!r}; valid ports are 0..{degree - 1} "
                 f"(degree {degree})"
             )
@@ -267,7 +270,7 @@ class SynchronousSimulator:
 
             context = BatchContext(
                 n=fabric.n,
-                identifiers=np.arange(1, fabric.n + 1, dtype=np.int64),
+                identifiers=np.asarray(network.identifiers_list, dtype=np.int64),
                 degrees=np.asarray(fabric.degrees, dtype=np.int64),
                 offsets=fabric.offsets_np,
                 endpoints=fabric.endpoints_np,
@@ -275,6 +278,7 @@ class SynchronousSimulator:
                 sources=fabric.sources_np(),
                 inputs=inputs_list,
                 network=network,
+                declared_n=network.declared_n,
             )
         if context is None or not program.can_run(context):
             factory = type(program).fallback

@@ -233,6 +233,7 @@ def run_scenario(
     out: str | Path | None = None,
     strict: bool = True,
     repeat: int = 1,
+    verify: bool = False,
 ) -> ScenarioRun:
     """Execute one scenario through :meth:`ExperimentRunner.run_batch`.
 
@@ -244,6 +245,12 @@ def run_scenario(
     count.  With ``strict`` (the default) failing paper-reference checks
     raise :class:`ScenarioCheckError`; the failures are always recorded on
     the returned :class:`ScenarioRun` and in the artifact metadata.
+
+    ``verify=True`` additionally replays the conformance oracle suite of
+    :mod:`repro.verify.artifact` on the finished rows (schema, paper
+    budgets, cross-variant parity, round-complexity envelopes — see
+    ``docs/verification.md``); oracle failures are recorded under
+    ``metadata.verify`` in the artifact and count as check failures.
 
     ``repeat=K`` runs the whole batch K times (same derived seeds) and
     reports the median wall time per row — both ``seconds`` and any
@@ -296,6 +303,17 @@ def run_scenario(
     if scenario.finalize is not None:
         scenario.finalize(runner, params)
     failures = list(scenario.check(runner, params)) if scenario.check is not None else []
+    if verify:
+        from repro.verify.artifact import artifact_failures
+
+        oracle_failures = artifact_failures(
+            runner.to_json_dict(), expected_name=scenario.name
+        )
+        runner.metadata["verify"] = {
+            "enabled": True,
+            "failures": oracle_failures,
+        }
+        failures += [f"verify: {failure}" for failure in oracle_failures]
     runner.metadata["check_failures"] = failures
 
     path: Path | None = None
@@ -332,6 +350,7 @@ def run_campaign(
     out: str | Path | None = None,
     strict: bool = True,
     progress: Callable[[str], None] | None = None,
+    verify: bool = False,
 ) -> CampaignRun:
     """Run a named set of scenarios and merge their artifacts.
 
@@ -357,6 +376,7 @@ def run_campaign(
                 profile=profile,
                 out=out_dir,
                 strict=strict,
+                verify=verify,
             )
         )
 

@@ -60,10 +60,15 @@ def _build_theorem13_colors(params: Params, profile: bool) -> list[BatchTask]:
                 ("greedy", "greedy baseline"),
             ):
                 for backend in params["backends"]:
+                    # seed_group = instance: every variant/backend row of an
+                    # instance sees the same graph (the artifact parity
+                    # oracle compares them), while --seed still reseeds
                     built.append(BatchTask(
                         instance, _backend_label(algorithm, backend),
                         tasks.theorem13_colors,
-                        args=(n, d, variant, backend), kwargs={"profile": profile},
+                        args=(n, d, variant, backend),
+                        kwargs={"profile": profile},
+                        seed_group=instance,
                     ))
     return built
 
@@ -107,11 +112,14 @@ register(Scenario(
 # ---------------------------------------------------------------------------
 
 def _build_theorem13_rounds(params: Params, profile: bool) -> list[BatchTask]:
+    # seed_group (see _build_theorem13_colors): both backend rows of an
+    # instance must measure the same graph for the parity oracle
     return [
         BatchTask(
             f"n={n}", _backend_label("thm1.3 (paper radius)", backend),
             tasks.theorem13_rounds,
             args=(n, params["d"], backend), kwargs={"profile": profile},
+            seed_group=f"n={n}",
         )
         for n in params["sizes"]
         for backend in params["backends"]
@@ -189,17 +197,21 @@ def _build_corollary14(params: Params, profile: bool) -> list[BatchTask]:
     for a in params["arboricities"]:
         for n in params["ns"]:
             instance = f"n={n} a={a}"
+            # seed_group (see _build_theorem13_colors): the backend rows of
+            # an instance must share the graph for the parity oracle
             for backend in params["backends"]:
                 built.append(BatchTask(
                     instance, _backend_label("Cor 1.4 (2a colors)", backend),
                     tasks.corollary14_arboricity,
                     args=(n, a, "ours", backend), kwargs={"profile": profile},
+                    seed_group=instance,
                 ))
                 built.append(BatchTask(
                     instance, _backend_label("Barenboim-Elkin", backend),
                     tasks.corollary14_arboricity,
                     args=(n, a, "barenboim-elkin", backend),
                     kwargs={"profile": profile},
+                    seed_group=instance,
                 ))
     return built
 

@@ -115,8 +115,12 @@ def theorem13_colors(
         result = color_sparse_graph(frozen, d=d, lists=lists, backend=backend)
     with prof("verify"):
         verify_list_coloring(frozen, result.coloring, lists)
+    # the distinct-color budget: d for the shared uniform palette, but the
+    # whole 2d-color palette for per-vertex random lists (each vertex stays
+    # within its own d-list; the union may legitimately use more than d)
+    budget = d if variant == "uniform" else 2 * d
     return {
-        "colors": result.colors_used(), "budget": d,
+        "colors": result.colors_used(), "budget": budget,
         "rounds": result.rounds, "valid": True, **prof.metrics(),
     }
 
@@ -152,15 +156,9 @@ def theorem13_rounds(
 # E15 — flat palette A/B: the Theorem 1.3 pipeline, dict vs flat backend
 # ---------------------------------------------------------------------------
 
-def _coloring_digest(coloring: dict) -> str:
-    """Order-independent SHA-256 digest of a coloring (parity comparisons)."""
-    import hashlib
-
-    h = hashlib.sha256()
-    for pair in sorted(f"{v!r}\x1f{c!r}" for v, c in coloring.items()):
-        h.update(pair.encode())
-        h.update(b"\x1e")
-    return h.hexdigest()[:16]
+# the shared parity fingerprint (repro.verify.parity) — the same digest the
+# golden corpus tests and the artifact parity oracle compare
+from repro.verify.parity import coloring_digest as _coloring_digest  # noqa: E402
 
 
 def coloring_pipeline(
@@ -667,14 +665,18 @@ def simulator_throughput(
             raise ValueError(f"unknown engine {engine!r}")
         elapsed = time.perf_counter() - start
     with prof("verify"):
+        from repro.verify.coloring import PaletteBudgetOracle, ProperColoringOracle
+
         assert result.finished
         outputs = result.outputs
         offset = 0 if algorithm == "cole-vishkin" else 1
-        for v in frozen:
-            color = outputs[v]
-            assert offset <= color < palette + offset
-            for u in frozen.neighbors(v):
-                assert outputs[u] != color
+        ProperColoringOracle().check(
+            graph=frozen, coloring=outputs
+        ).raise_if_failed()
+        PaletteBudgetOracle().check(
+            coloring=outputs, budget=palette
+        ).raise_if_failed()
+        assert all(offset <= outputs[v] < palette + offset for v in frozen)
     return {
         "n": n,
         "rounds": result.rounds,

@@ -1,0 +1,80 @@
+"""Conformance oracles: every reproduced theorem gets a machine-checked witness.
+
+This package is the repo's reliability substrate (see
+``docs/verification.md``): a first-class :class:`~repro.verify.oracle.Oracle`
+protocol plus concrete oracles for every statement the repo reproduces —
+
+* coloring validity, list legality and palette budgets
+  (:mod:`repro.verify.coloring`), including Theorem 1.3's
+  clique-or-coloring dichotomy;
+* H-partition and ruling-forest legality with their distance/domination
+  invariants (:mod:`repro.verify.structures`);
+* round-count envelopes from the paper's complexity formulas
+  (:mod:`repro.verify.rounds`);
+* the **locality auditor** (:mod:`repro.verify.locality`) — Theorem 1.5's
+  indistinguishability argument turned into an executable check that node
+  programs on the round engine depend only on their r-balls;
+* substrate parity (:mod:`repro.verify.parity`) and the BENCH-artifact
+  suite behind ``python -m repro verify`` (:mod:`repro.verify.artifact`).
+
+Oracles return :class:`~repro.verify.oracle.Verdict` objects with precise
+diagnostics; the mutation tests prove each oracle rejects at least one
+corrupted witness.
+"""
+
+from repro.verify.oracle import Oracle, Verdict, combine, failed, passed
+from repro.verify.coloring import (
+    CliqueWitnessOracle,
+    DichotomyOracle,
+    ListColoringOracle,
+    PaletteBudgetOracle,
+    ProperColoringOracle,
+)
+from repro.verify.structures import HPartitionOracle, RulingForestOracle
+from repro.verify.rounds import ENVELOPES, RoundEnvelopeOracle, round_envelope
+from repro.verify.parity import (
+    ColoringParityOracle,
+    SimulationParityOracle,
+    assert_simulation_parity,
+    coloring_digest,
+)
+from repro.verify.locality import (
+    LocalityAuditReport,
+    LocalityOracle,
+    LocalityViolation,
+    audit_locality,
+)
+from repro.verify.artifact import (
+    ARTIFACT_ORACLE_NAMES,
+    artifact_failures,
+    verify_artifact_dict,
+)
+
+__all__ = [
+    "Oracle",
+    "Verdict",
+    "combine",
+    "passed",
+    "failed",
+    "ProperColoringOracle",
+    "ListColoringOracle",
+    "PaletteBudgetOracle",
+    "CliqueWitnessOracle",
+    "DichotomyOracle",
+    "HPartitionOracle",
+    "RulingForestOracle",
+    "RoundEnvelopeOracle",
+    "round_envelope",
+    "ENVELOPES",
+    "SimulationParityOracle",
+    "ColoringParityOracle",
+    "assert_simulation_parity",
+    "coloring_digest",
+    "LocalityOracle",
+    "LocalityAuditReport",
+    "LocalityViolation",
+    "audit_locality",
+    "ARTIFACT_ORACLE_NAMES",
+    "artifact_failures",
+    "verify_artifact_dict",
+]

@@ -1,0 +1,163 @@
+"""The locality auditor: Theorem 1.5's argument as an executable oracle.
+
+The indistinguishability lower bounds of the paper (Theorem 1.5, Theorems
+2.5/2.6) all rest on one fact about the LOCAL model: *the output of a node
+after r rounds is a function of its radius-r ball* — the labelled induced
+subgraph, the identifiers, the per-node inputs and the globally-known ``n``.
+The auditor turns that fact into a conformance check of the round engine
+and of every node program running on it:
+
+1. run the algorithm on the full network; record the round count ``R`` and
+   the per-node outputs;
+2. for each audited vertex ``v``, extract the induced subgraph on the ball
+   ``B(v, R + 1)`` — radius ``R`` plus one closure hop, so every vertex
+   within distance ``R`` of ``v`` keeps its exact degree and port
+   numbering (vertices at distance ``R + 1`` exist only to pad the border;
+   their own truncated views never reach ``v`` within ``R`` rounds);
+3. re-run the *same* program on that truncated network, preserving the
+   original identifiers and the announced ``n``
+   (:class:`~repro.local.network.Network`'s ``identifiers=`` /
+   ``declared_n=``), for at most ``R`` rounds;
+4. assert the truncated run reproduces ``v``'s output exactly.
+
+A program that passes for every vertex is *locality-faithful*: it derives
+nothing from global structure a message-passing node could not know.  A
+program that cheats — reading the whole input array, deriving a schedule
+from observed maxima, indexing beyond its fabric slice — produces a
+different output on some truncated ball and is reported with the offending
+vertex, radius and both outputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graphs.frozen import freeze
+from repro.graphs.graph import Vertex
+from repro.local.network import Network
+from repro.local.simulator import SimulationResult, SynchronousSimulator
+from repro.verify.oracle import Verdict, collector
+
+__all__ = ["LocalityViolation", "LocalityAuditReport", "audit_locality", "LocalityOracle"]
+
+
+@dataclass
+class LocalityViolation:
+    """One audited vertex whose truncated re-run diverged."""
+
+    vertex: Vertex
+    radius: int
+    full_output: Any
+    truncated_output: Any
+    ball_size: int
+
+
+@dataclass
+class LocalityAuditReport:
+    """The outcome of one locality audit."""
+
+    rounds: int
+    audited: list[Vertex]
+    violations: list[LocalityViolation] = field(default_factory=list)
+    full_result: SimulationResult | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def audit_locality(
+    graph,
+    algorithm_factory: Callable[[], Any],
+    inputs: Mapping[Vertex, Any] | None = None,
+    *,
+    vertices: list[Vertex] | None = None,
+    max_rounds: int = 10_000,
+    network: Network | None = None,
+) -> LocalityAuditReport:
+    """Audit a node program for locality-faithfulness on one instance.
+
+    ``vertices`` selects the audited sample (default: every vertex —
+    quadratic-ish in practice, so large instances should pass an explicit
+    sample).  ``network=`` reuses a prebuilt full network; otherwise the
+    graph is frozen here and the default identifier order applies.
+    """
+    frozen = freeze(graph)
+    if network is None:
+        network = Network(frozen)
+    full = SynchronousSimulator(network).run(
+        algorithm_factory, inputs=inputs, max_rounds=max_rounds, strict=True
+    )
+    radius = full.rounds
+    audited = list(vertices) if vertices is not None else frozen.vertices()
+    inputs = dict(inputs or {})
+
+    report = LocalityAuditReport(
+        rounds=radius, audited=audited, full_result=full
+    )
+    for v in audited:
+        # radius + 1: the closure hop that keeps every distance-<=R vertex's
+        # degree (hence initial state and port numbering) exactly as in the
+        # full network
+        ball = frozen.ball(v, radius + 1)
+        sub = frozen.subgraph(ball)
+        sub_network = Network(
+            sub,
+            identifiers={u: network.identifier_of[u] for u in ball},
+            declared_n=network.declared_n,
+        )
+        truncated = SynchronousSimulator(sub_network).run(
+            algorithm_factory,
+            inputs={u: inputs.get(u) for u in ball},
+            max_rounds=max(radius, 1),
+            strict=False,
+        )
+        if truncated.outputs[v] != full.outputs[v]:
+            report.violations.append(
+                LocalityViolation(
+                    vertex=v,
+                    radius=radius,
+                    full_output=full.outputs[v],
+                    truncated_output=truncated.outputs[v],
+                    ball_size=len(ball),
+                )
+            )
+    return report
+
+
+class LocalityOracle:
+    """Oracle wrapper around :func:`audit_locality`."""
+
+    name = "locality"
+
+    def check(
+        self,
+        *,
+        graph,
+        algorithm_factory: Callable[[], Any],
+        inputs: Mapping[Vertex, Any] | None = None,
+        vertices: list[Vertex] | None = None,
+        max_rounds: int = 10_000,
+        network: Network | None = None,
+    ) -> Verdict:
+        out = collector(self.name)
+        report = audit_locality(
+            graph,
+            algorithm_factory,
+            inputs,
+            vertices=vertices,
+            max_rounds=max_rounds,
+            network=network,
+        )
+        out.saw(len(report.audited))
+        for violation in report.violations:
+            out.fail(
+                f"vertex {violation.vertex!r}: output on the full network is "
+                f"{violation.full_output!r} but the radius-{violation.radius} "
+                f"ball re-run ({violation.ball_size} vertices) produced "
+                f"{violation.truncated_output!r} — the program reads beyond "
+                "its r-ball"
+            )
+        return out.verdict()

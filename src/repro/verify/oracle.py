@@ -1,0 +1,156 @@
+"""The conformance oracle protocol.
+
+Every reproduced statement of the paper owns a machine-checked *oracle*: an
+object that inspects a witness (a coloring, a clique, an H-partition, a
+ruling forest, a round total, a simulation result) and returns a
+:class:`Verdict` — pass/fail plus precise diagnostics naming the violated
+invariant and the offending vertices/edges.  Oracles never assert silently:
+a failing verdict always carries at least one diagnostic, and the mutation
+tests (``tests/test_verify_oracles.py``) prove each oracle rejects at least
+one corrupted witness, guarding against vacuously-passing verifiers.
+
+The protocol is deliberately tiny:
+
+* an :class:`Oracle` has a ``name`` and a ``check(**subject)`` method
+  returning a :class:`Verdict`;
+* :meth:`Verdict.raise_if_failed` converts a failing verdict into a
+  :class:`~repro.errors.VerificationError` carrying the verdict, which is
+  how pipeline code (scenario tasks, the drivers' ``verify=True`` paths)
+  consumes oracles;
+* :func:`combine` merges sub-verdicts so composite oracles (e.g. the
+  Theorem 1.3 dichotomy) report every violated invariant at once.
+
+Concrete oracles live in the sibling modules: :mod:`repro.verify.coloring`
+(validity, budgets, clique witnesses), :mod:`repro.verify.structures`
+(H-partitions, ruling forests), :mod:`repro.verify.rounds` (complexity
+envelopes), :mod:`repro.verify.locality` (the Theorem 1.5 auditor) and
+:mod:`repro.verify.artifact` (the BENCH-artifact suite behind
+``python -m repro verify``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.errors import VerificationError
+
+__all__ = ["Verdict", "Oracle", "combine", "passed", "failed"]
+
+#: cap on diagnostics retained per verdict, so an oracle scanning a large
+#: corrupted object stays readable (the count still reports every failure)
+MAX_DIAGNOSTICS = 20
+
+
+@dataclass
+class Verdict:
+    """The outcome of one oracle run.
+
+    Attributes
+    ----------
+    oracle:
+        Name of the oracle that produced the verdict.
+    ok:
+        Whether the witness passed every invariant.
+    diagnostics:
+        Human-readable violation descriptions (empty iff ``ok``); capped at
+        ``MAX_DIAGNOSTICS`` entries, with ``failures`` recording the true
+        count.
+    checked:
+        How many elementary facts the oracle inspected (edges, vertices,
+        rows); a passing verdict with ``checked == 0`` means the oracle had
+        nothing to say, which callers may want to treat as suspicious.
+    failures:
+        Total number of violations found (>= ``len(diagnostics)``).
+    """
+
+    oracle: str
+    ok: bool
+    diagnostics: list[str] = field(default_factory=list)
+    checked: int = 0
+    failures: int = 0
+
+    def raise_if_failed(self) -> "Verdict":
+        """Return ``self`` when passing; raise :class:`VerificationError` otherwise."""
+        if not self.ok:
+            shown = "\n  ".join(self.diagnostics)
+            extra = self.failures - len(self.diagnostics)
+            if extra > 0:
+                shown += f"\n  ... and {extra} more"
+            raise VerificationError(
+                f"oracle {self.oracle!r} rejected the witness "
+                f"({self.failures} violation(s)):\n  {shown}",
+                verdict=self,
+            )
+        return self
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@runtime_checkable
+class Oracle(Protocol):
+    """The oracle surface: a name plus a keyword-argument ``check``."""
+
+    name: str
+
+    def check(self, **subject: Any) -> Verdict: ...
+
+
+class _Collector:
+    """Accumulates diagnostics for one verdict (cap-aware)."""
+
+    def __init__(self, oracle: str):
+        self.oracle = oracle
+        self.diagnostics: list[str] = []
+        self.checked = 0
+        self.failures = 0
+
+    def saw(self, count: int = 1) -> None:
+        self.checked += count
+
+    def fail(self, message: str) -> None:
+        self.failures += 1
+        if len(self.diagnostics) < MAX_DIAGNOSTICS:
+            self.diagnostics.append(message)
+
+    def verdict(self) -> Verdict:
+        return Verdict(
+            oracle=self.oracle,
+            ok=self.failures == 0,
+            diagnostics=self.diagnostics,
+            checked=self.checked,
+            failures=self.failures,
+        )
+
+
+def collector(oracle: str) -> _Collector:
+    """A fresh diagnostic collector (the idiom concrete oracles build on)."""
+    return _Collector(oracle)
+
+
+def passed(oracle: str, checked: int = 0) -> Verdict:
+    """A passing verdict."""
+    return Verdict(oracle=oracle, ok=True, checked=checked)
+
+
+def failed(oracle: str, *diagnostics: str, checked: int = 0) -> Verdict:
+    """A failing verdict from explicit diagnostics."""
+    return Verdict(
+        oracle=oracle,
+        ok=False,
+        diagnostics=list(diagnostics)[:MAX_DIAGNOSTICS],
+        checked=checked,
+        failures=len(diagnostics),
+    )
+
+
+def combine(oracle: str, verdicts: list[Verdict]) -> Verdict:
+    """Merge sub-verdicts into one (diagnostics prefixed by their oracle)."""
+    out = collector(oracle)
+    for verdict in verdicts:
+        out.saw(verdict.checked)
+        out.failures += max(0, verdict.failures - len(verdict.diagnostics))
+        for diagnostic in verdict.diagnostics:
+            out.fail(f"[{verdict.oracle}] {diagnostic}")
+    return out.verdict()

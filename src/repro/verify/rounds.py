@@ -1,0 +1,123 @@
+"""Round-count envelope oracles from the paper's complexity formulas.
+
+The reproduction *charges* rounds to ledgers; these oracles turn the
+paper's asymptotic statements into executable envelopes with explicit
+(generous) constants, so a refactor that silently blows up a pipeline's
+round complexity fails loudly instead of drifting:
+
+=====================  ==========================================
+envelope               statement
+=====================  ==========================================
+``theorem13``          Theorem 1.3: ``O(d^4 log^3 n)``
+``cole-vishkin``       ``O(log* n)`` (Cole–Vishkin / GPS)
+``linial``             ``O(log* n + Delta^2)`` (Linial + reduction)
+``barenboim-elkin``    ``O(a log n)`` classes x slot sweeps
+``greedy``             ``O(n)`` (longest decreasing-id path)
+``ruling-forest``      ``O(alpha log n)`` probes + ``beta`` growth
+=====================  ==========================================
+
+The constants are deliberately loose (an envelope, not a fit): they must
+accept every legitimate run of the shipped pipelines while still rejecting
+order-of-magnitude regressions.  The golden tests additionally pin *exact*
+round totals for the standard corpus, so the two layers catch drift at
+different granularities.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.verify.oracle import Verdict, collector
+
+__all__ = ["round_envelope", "RoundEnvelopeOracle", "ENVELOPES"]
+
+
+def _log2ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n))))
+
+
+def _log_star(n: int) -> int:
+    value, steps = max(2, n), 0
+    while value > 2:
+        value = math.log2(value)
+        steps += 1
+    return max(1, steps)
+
+
+def _theorem13(n: int, d: int = 4, **_ignored) -> int:
+    # O(d^3 log n) peeling layers, each extension O(d log^2 n): the paper's
+    # O(d^4 log^3 n) with an explicit constant absorbing the charged
+    # ball-collection and ruling-probe terms of the implementation (the
+    # measured constant of the shipped driver is ~0.25; 6 leaves a wide
+    # margin while still catching an order-of-magnitude regression)
+    return 6 * max(3, d) ** 4 * _log2ceil(n) ** 3 + 600
+
+
+def _cole_vishkin(n: int, **_ignored) -> int:
+    # discover + iterated bit reduction + three shift/recolor pairs
+    return 4 * _log_star(n) + 24
+
+
+def _linial(n: int, delta: int = 1, **_ignored) -> int:
+    # O(log* n) Linial iterations, then one round per retired color class
+    # (the O(Delta^2) palette of the last iteration; q <= next prime above
+    # d*Delta squared over the final m, bounded by ~(3 Delta)^2 in practice)
+    q = 12 * max(1, delta) ** 2 + 96
+    return 4 * _log_star(n) + q + 16
+
+
+def _barenboim_elkin(n: int, a: int = 1, epsilon: float = 1.0, **_ignored) -> int:
+    # O(log n) classes; each pays one peel round, one within-class
+    # (Delta+1)-coloring at Delta <= (2+eps)a, and one round per slot
+    classes = 8 * _log2ceil(n) + 8
+    per_class = _linial(n, delta=int((2 + epsilon) * a) + 1) + int((2 + epsilon) * a) + 2
+    return classes * per_class
+
+
+def _greedy(n: int, **_ignored) -> int:
+    return max(2, n) + 1
+
+
+def _ruling_forest(n: int, alpha: int = 2, **_ignored) -> int:
+    bits = _log2ceil(n)
+    return alpha * bits + 4 * alpha * bits + 4  # probes + tree growth slack
+
+
+ENVELOPES = {
+    "theorem13": _theorem13,
+    "cole-vishkin": _cole_vishkin,
+    "linial": _linial,
+    "barenboim-elkin": _barenboim_elkin,
+    "greedy": _greedy,
+    "ruling-forest": _ruling_forest,
+}
+
+
+def round_envelope(kind: str, **params) -> int:
+    """The round budget of the named envelope for the given parameters."""
+    try:
+        formula = ENVELOPES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown round envelope {kind!r}; known: {sorted(ENVELOPES)}"
+        ) from None
+    return formula(**params)
+
+
+class RoundEnvelopeOracle:
+    """Measured rounds stay inside the statement's complexity envelope."""
+
+    name = "round-envelope"
+
+    def check(self, *, kind: str, rounds: int, **params) -> Verdict:
+        out = collector(f"{self.name}[{kind}]")
+        out.saw()
+        budget = round_envelope(kind, **params)
+        if rounds < 0:
+            out.fail(f"negative round count {rounds}")
+        if rounds > budget:
+            shown = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+            out.fail(
+                f"{rounds} rounds exceed the {kind} envelope {budget} ({shown})"
+            )
+        return out.verdict()

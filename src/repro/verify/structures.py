@@ -1,0 +1,157 @@
+"""Oracles for the structural witnesses: H-partitions and ruling forests.
+
+Both structures carry *distance/domination* invariants that the coloring
+pipelines silently rely on; these oracles make them machine-checked:
+
+* :class:`HPartitionOracle` — the Barenboim–Elkin peel invariant: the
+  classes partition the vertex set, and every vertex of class ``H_i`` has
+  at most ``degree_bound`` neighbours in its own and later classes (that is
+  literally why the slot phase always finds a free color);
+* :class:`RulingForestOracle` — the (α, β)-ruling forest legality of
+  Lemma 3.2: trees are vertex-disjoint, parent pointers are graph edges
+  with consistent depths/roots, tree depth is at most β, the requested
+  subset is dominated, and the roots are pairwise at distance at least α.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.graphs.graph import Vertex
+from repro.verify.oracle import Verdict, collector
+
+__all__ = ["HPartitionOracle", "RulingForestOracle"]
+
+
+class HPartitionOracle:
+    """Legality of an H-partition (Barenboim–Elkin Procedure Partition)."""
+
+    name = "h-partition"
+
+    def check(self, *, graph, partition: Any) -> Verdict:
+        out = collector(self.name)
+        classes = partition.classes
+        class_of = partition.class_of
+        bound = partition.degree_bound
+
+        seen: dict[Vertex, int] = {}
+        for index, members in enumerate(classes):
+            for v in members:
+                out.saw()
+                if v in seen:
+                    out.fail(
+                        f"vertex {v!r} appears in classes {seen[v]} and {index}"
+                    )
+                seen[v] = index
+                if class_of.get(v) != index:
+                    out.fail(
+                        f"class_of[{v!r}] = {class_of.get(v)!r} but the vertex "
+                        f"sits in class {index}"
+                    )
+        for v in graph:
+            out.saw()
+            if v not in seen:
+                out.fail(f"vertex {v!r} is in no class (classes must partition V)")
+
+        # the peel invariant: at most `bound` neighbours in the same or a
+        # later class — exactly the free-color counting of the slot phase
+        for v in graph:
+            index = seen.get(v)
+            if index is None:
+                continue
+            out.saw()
+            later = sum(1 for u in graph.neighbors(v) if seen.get(u, -1) >= index)
+            if later > bound:
+                out.fail(
+                    f"vertex {v!r} (class {index}) has {later} neighbours in "
+                    f"classes >= {index}, exceeding the degree bound {bound:g}"
+                )
+        return out.verdict()
+
+
+class RulingForestOracle:
+    """Legality of an (α, β)-ruling forest with respect to a subset."""
+
+    name = "ruling-forest"
+
+    def check(self, *, graph, forest: Any, subset: set[Vertex] | None = None) -> Verdict:
+        out = collector(self.name)
+        roots = list(forest.roots)
+        parent = forest.parent
+        depth = forest.depth
+        tree_of = forest.tree_of
+
+        root_set = set(roots)
+        for r in roots:
+            out.saw()
+            if r not in graph:
+                out.fail(f"root {r!r} is not a vertex of the graph")
+            if parent.get(r, "missing") is not None:
+                out.fail(f"root {r!r} has parent {parent.get(r)!r}, expected None")
+            if depth.get(r) != 0:
+                out.fail(f"root {r!r} has depth {depth.get(r)!r}, expected 0")
+            if tree_of.get(r) != r:
+                out.fail(f"root {r!r} is owned by tree {tree_of.get(r)!r}")
+
+        for v, p in parent.items():
+            if p is None:
+                out.saw()
+                if v not in root_set:
+                    out.fail(f"vertex {v!r} has no parent but is not a root")
+                continue
+            out.saw()
+            if not graph.has_edge(v, p):
+                out.fail(f"tree edge ({v!r}, {p!r}) is not an edge of the graph")
+            if depth.get(v) != depth.get(p, -2) + 1:
+                out.fail(
+                    f"depth[{v!r}] = {depth.get(v)!r} but its parent {p!r} "
+                    f"has depth {depth.get(p)!r}"
+                )
+            if tree_of.get(v) != tree_of.get(p):
+                out.fail(
+                    f"vertex {v!r} is in tree {tree_of.get(v)!r} but its "
+                    f"parent {p!r} is in tree {tree_of.get(p)!r}"
+                )
+
+        beta = forest.beta
+        for v, d in depth.items():
+            out.saw()
+            if d > beta:
+                out.fail(f"vertex {v!r} sits at depth {d} > beta = {beta}")
+
+        if subset is not None:
+            for v in subset:
+                out.saw()
+                if v not in parent:
+                    out.fail(f"subset vertex {v!r} joined no tree (domination broken)")
+
+        # roots pairwise at distance >= alpha: one depth-bounded BFS per root
+        alpha = forest.alpha
+        for r in roots:
+            if r not in graph:
+                continue
+            out.saw()
+            close = self._within(graph, r, alpha - 1) & root_set - {r}
+            for other in sorted(close, key=repr):
+                if repr(other) > repr(r):  # report each pair once
+                    out.fail(
+                        f"roots {r!r} and {other!r} are at distance "
+                        f"< alpha = {alpha}"
+                    )
+        return out.verdict()
+
+    @staticmethod
+    def _within(graph, source: Vertex, limit: int) -> set[Vertex]:
+        """All vertices within distance ``limit`` of ``source``."""
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            if distances[u] >= limit:
+                continue
+            for w in graph.neighbors(u):
+                if w not in distances:
+                    distances[w] = distances[u] + 1
+                    queue.append(w)
+        return set(distances)

@@ -107,8 +107,14 @@ def test_union_of_random_forests_mad_bound(a):
 
 
 def test_union_of_random_forests_validation():
+    # degenerate sizes are legal forests now (the corpus's edge-case
+    # instances): no edges, metadata still recorded
+    for n in (0, 1):
+        g = sparse.union_of_random_forests(n, 2)
+        assert len(g) == n and g.number_of_edges() == 0
+        assert g.metadata["arboricity_upper_bound"] == 2
     with pytest.raises(GeneratorError):
-        sparse.union_of_random_forests(1, 2)
+        sparse.union_of_random_forests(-1, 2)
     with pytest.raises(GeneratorError):
         sparse.union_of_random_forests(10, 0)
 

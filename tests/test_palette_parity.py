@@ -22,13 +22,13 @@ from repro.coloring.palette import FlatListAssignment, PaletteUniverse
 from repro.coloring.verification import (
     is_proper_coloring,
     respects_lists,
-    verify_list_coloring,
 )
 from repro.core import classify_vertices, color_sparse_graph
 from repro.distributed import barenboim_elkin_coloring, delta_plus_one_coloring
 from repro.graphs.generators import planar, sparse
 from repro.graphs.graph import Graph
 from repro.graphs.properties.degeneracy import degeneracy_ordering
+from repro.verify import ColoringParityOracle, ListColoringOracle
 
 
 # A color pool mixing types whose reprs interleave in nontrivial ways.
@@ -192,12 +192,15 @@ def test_sparse_coloring_backends_bit_identical(seed, use_random_lists):
     )
     a = color_sparse_graph(graph, d, lists=lists, backend="dict")
     b = color_sparse_graph(graph, d, lists=lists, backend="flat")
-    assert a.coloring == b.coloring
-    assert a.rounds == b.rounds
+    ColoringParityOracle().check(
+        coloring_a=a.coloring, coloring_b=b.coloring,
+        rounds_a=a.rounds, rounds_b=b.rounds, labels=("dict", "flat"),
+    ).raise_if_failed()
     assert a.ledger.total() == b.ledger.total()
-    verify_list_coloring(
-        graph, b.coloring, lists if lists is not None else uniform_lists(graph, d)
-    )
+    ListColoringOracle().check(
+        graph=graph, coloring=b.coloring,
+        lists=lists if lists is not None else uniform_lists(graph, d),
+    ).raise_if_failed()
 
 
 @settings(max_examples=15, deadline=None)
@@ -207,8 +210,10 @@ def test_barenboim_elkin_backends_bit_identical(seed):
     graph = sparse.union_of_random_forests(n, 2, seed=seed).freeze()
     a = barenboim_elkin_coloring(graph, arboricity=2)
     b = barenboim_elkin_coloring(graph, arboricity=2, backend="flat")
-    assert a.coloring == b.coloring
-    assert a.rounds == b.rounds
+    ColoringParityOracle().check(
+        coloring_a=a.coloring, coloring_b=b.coloring,
+        rounds_a=a.rounds, rounds_b=b.rounds, labels=("dict", "flat"),
+    ).raise_if_failed()
     assert a.ledger.total() == b.ledger.total()
 
 

@@ -53,13 +53,21 @@ def test_campaigns_reference_registered_scenarios():
 
 @pytest.mark.parametrize("name", NAMES)
 def test_scenario_smoke_runs_inline_to_valid_artifact(name, tmp_path):
-    run = run_scenario(name, smoke=True, workers=1, out=tmp_path)
+    # verify=True replays the conformance oracle suite (schema, budgets,
+    # variant parity, round envelopes) on the finished rows: every
+    # registered scenario must pass it
+    run = run_scenario(name, smoke=True, workers=1, out=tmp_path, verify=True)
     assert run.ok and run.failures == []
     assert run.path == tmp_path / f"BENCH_{name}.json"
     artifact = json.loads(run.path.read_text())
     assert validate_artifact(artifact, expected_name=name) == []
     assert artifact["metadata"]["scenario"]["paper_ref"] == get_scenario(name).paper_ref
+    assert artifact["metadata"]["verify"] == {"enabled": True, "failures": []}
     assert len(artifact["rows"]) == len(run.runner.rows)
+    # the exported artifact replays clean through the post-hoc suite too
+    from repro.verify import artifact_failures
+
+    assert artifact_failures(artifact, expected_name=name) == []
 
 
 def test_smoke_run_is_deterministic(tmp_path):
@@ -173,6 +181,44 @@ def test_cli_campaign_smoke(tmp_path, capsys):
         assert validate_artifact(merged["scenarios"][name], expected_name=name) == []
     summary = {entry["scenario"]: entry for entry in merged["summary"]}
     assert all(entry["check_failures"] == [] for entry in summary.values())
+
+
+def test_cli_verify_passes_and_fails(tmp_path, capsys):
+    # a clean artifact verifies; exit code 0 and a per-artifact "ok" line
+    assert cli_main([
+        "run", "lowerbound-fisk", "--smoke", "--workers", "1",
+        "--out", str(tmp_path), "--quiet",
+    ]) == 0
+    path = tmp_path / "BENCH_lowerbound-fisk.json"
+    capsys.readouterr()
+    assert cli_main(["verify", str(path)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    # corrupt a row: the budget oracle must fail the run with exit code 1
+    artifact = json.loads(path.read_text())
+    artifact["rows"][0]["metrics"]["colors"] = 99
+    artifact["rows"][0]["metrics"]["budget"] = 1
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text(json.dumps(artifact))
+    assert cli_main(["verify", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "budget" in captured.err
+
+
+def test_cli_verify_unpacks_campaign_merge(tmp_path, capsys):
+    assert cli_main([
+        "campaign", "lowerbounds", "--smoke", "--workers", "1",
+        "--out", str(tmp_path),
+    ]) == 0
+    merged = tmp_path / "BENCH_campaign_lowerbounds.json"
+    capsys.readouterr()
+    assert cli_main(["verify", str(merged), "--quiet"]) == 0
+
+
+def test_cli_verify_requires_input(capsys):
+    assert cli_main(["verify"]) == 2
+    assert "artifact paths" in capsys.readouterr().err
 
 
 def test_cli_campaign_only_filter(tmp_path):

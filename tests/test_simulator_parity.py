@@ -37,6 +37,7 @@ from repro.local import (
     SynchronousSimulator,
     run_node_algorithm,
 )
+from repro.verify import ColoringParityOracle, assert_simulation_parity
 
 
 def _graphs():
@@ -103,12 +104,9 @@ ALGORITHMS = [
 ]
 
 
-def _assert_identical(result_a, result_b):
-    assert result_a.rounds == result_b.rounds
-    assert result_a.outputs == result_b.outputs
-    assert result_a.messages_sent == result_b.messages_sent
-    assert result_a.per_round_messages == result_b.per_round_messages
-    assert result_a.finished == result_b.finished
+# the shared parity oracle (repro.verify.parity): rounds, outputs,
+# message totals, per-round series and the finished flag must all match
+_assert_identical = assert_simulation_parity
 
 
 @pytest.mark.parametrize("graph_name,graph", GRAPHS, ids=[n for n, _ in GRAPHS])
@@ -165,9 +163,12 @@ def test_cole_vishkin_parity_all_three_engines(graph_name, graph):
 def test_greedy_batched_matches_per_node(graph_name, graph):
     per_node = greedy_distributed_coloring(graph, batched=False)
     batched = greedy_distributed_coloring(graph, batched=True)
-    assert batched.rounds == per_node.rounds
+    ColoringParityOracle().check(
+        coloring_a=per_node.coloring, coloring_b=batched.coloring,
+        rounds_a=per_node.rounds, rounds_b=batched.rounds,
+        labels=("per-node", "batched"),
+    ).raise_if_failed()
     assert batched.messages == per_node.messages
-    assert batched.coloring == per_node.coloring
     assert batched.palette_size == per_node.palette_size
     for u, v in graph.edges():
         assert batched.coloring[u] != batched.coloring[v]

@@ -1,0 +1,419 @@
+"""Mutation tests for the conformance oracles.
+
+Every oracle must reject at least one *corrupted* witness with a precise
+diagnostic — a verifier that accepts everything is worse than none.  Each
+test builds a valid witness, checks the oracle passes it, then applies a
+targeted mutation (swap two colors, violate a list, fake a clique vertex,
+drop a ruling-forest edge, move an H-partition vertex, inflate a round
+count, fabricate global knowledge in a node program) and asserts the
+oracle rejects it and the diagnostic names the corruption.
+"""
+
+import pytest
+
+from repro.coloring import random_lists, uniform_lists
+from repro.core import color_sparse_graph
+from repro.distributed import h_partition, ruling_forest
+from repro.errors import VerificationError
+from repro.graphs.generators import classic, sparse
+from repro.local import run_node_algorithm
+from repro.local.node import BatchNodeAlgorithm, NodeAlgorithm
+from repro.verify import (
+    CliqueWitnessOracle,
+    DichotomyOracle,
+    HPartitionOracle,
+    ListColoringOracle,
+    LocalityOracle,
+    PaletteBudgetOracle,
+    ProperColoringOracle,
+    RoundEnvelopeOracle,
+    RulingForestOracle,
+    SimulationParityOracle,
+    artifact_failures,
+    audit_locality,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = sparse.union_of_random_forests(50, 2, seed=9).freeze()
+    result = color_sparse_graph(graph, 4)
+    return graph, result
+
+
+# ---------------------------------------------------------------------------
+# coloring oracles
+# ---------------------------------------------------------------------------
+
+def test_proper_coloring_oracle_rejects_swapped_edge(instance):
+    graph, result = instance
+    oracle = ProperColoringOracle()
+    assert oracle.check(graph=graph, coloring=result.coloring).ok
+
+    u, v = next(iter(graph.edges()))
+    corrupted = dict(result.coloring)
+    corrupted[u] = corrupted[v]  # make one edge monochromatic
+    verdict = oracle.check(graph=graph, coloring=corrupted)
+    assert not verdict.ok
+    assert any("monochromatic" in d for d in verdict.diagnostics)
+    assert any(repr(u) in d or repr(v) in d for d in verdict.diagnostics)
+
+
+def test_proper_coloring_oracle_rejects_missing_vertex(instance):
+    graph, result = instance
+    victim = graph.vertices()[0]
+    partial = {w: c for w, c in result.coloring.items() if w != victim}
+    verdict = ProperColoringOracle().check(graph=graph, coloring=partial)
+    assert not verdict.ok
+    assert any("uncolored" in d and repr(victim) in d for d in verdict.diagnostics)
+    # uncolored vertices are legal when completeness is waived
+    assert ProperColoringOracle().check(
+        graph=graph, coloring=partial, require_complete=False
+    ).ok
+
+
+def test_list_coloring_oracle_rejects_out_of_list_color(instance):
+    graph, result = instance
+    lists = uniform_lists(graph, 4)
+    oracle = ListColoringOracle()
+    assert oracle.check(graph=graph, coloring=result.coloring, lists=lists).ok
+
+    victim = graph.vertices()[3]
+    corrupted = dict(result.coloring)
+    corrupted[victim] = "not-a-color"
+    verdict = oracle.check(graph=graph, coloring=corrupted, lists=lists)
+    assert not verdict.ok
+    assert any(
+        "outside its list" in d and repr(victim) in d for d in verdict.diagnostics
+    )
+
+
+def test_palette_budget_oracle_rejects_overflow(instance):
+    graph, result = instance
+    assert PaletteBudgetOracle().check(coloring=result.coloring, budget=4).ok
+    verdict = PaletteBudgetOracle().check(coloring=result.coloring, budget=2)
+    assert not verdict.ok
+    assert any("budget is 2" in d for d in verdict.diagnostics)
+
+
+def test_clique_witness_oracle_rejects_fakes():
+    graph = classic.complete_graph(5)
+    graph.add_vertex("outside")
+    oracle = CliqueWitnessOracle()
+    assert oracle.check(graph=graph, clique=[0, 1, 2, 3, 4], size=5).ok
+
+    # non-adjacent vertex smuggled in
+    verdict = oracle.check(graph=graph, clique=[0, 1, 2, 3, "outside"], size=5)
+    assert not verdict.ok
+    assert any("not an edge" in d for d in verdict.diagnostics)
+    # wrong size
+    verdict = oracle.check(graph=graph, clique=[0, 1, 2], size=5)
+    assert not verdict.ok
+    assert any("expected 5" in d for d in verdict.diagnostics)
+    # vertex not in the graph at all
+    verdict = oracle.check(graph=graph, clique=[0, 1, 2, 3, "ghost"], size=5)
+    assert not verdict.ok
+    assert any("not in the graph" in d for d in verdict.diagnostics)
+    # repeated vertex
+    verdict = oracle.check(graph=graph, clique=[0, 1, 2, 3, 3], size=5)
+    assert not verdict.ok
+    assert any("repeats" in d for d in verdict.diagnostics)
+
+
+def test_dichotomy_oracle_finds_real_clique_and_rejects_ambiguity():
+    # a k-tree contains a (k+1)-clique, so the Theorem 1.3 driver at d = k
+    # must return the clique side of the dichotomy
+    graph = sparse.random_k_tree(30, 3, seed=2).freeze()
+    result = color_sparse_graph(graph, 3)
+    assert result.clique is not None
+    oracle = DichotomyOracle()
+    assert oracle.check(graph=graph, result=result, d=3).ok
+
+    result.coloring = {}  # corrupt: both sides present
+    verdict = oracle.check(graph=graph, result=result, d=3)
+    assert not verdict.ok
+    assert any("exactly one" in d for d in verdict.diagnostics)
+
+
+def test_dichotomy_oracle_list_side(instance):
+    graph, _ = instance
+    lists = random_lists(graph, 4, palette_size=8, seed=5)
+    result = color_sparse_graph(graph, 4, lists=lists)
+    verdict = DichotomyOracle().check(graph=graph, result=result, d=4, lists=lists)
+    assert verdict.ok and verdict.checked > len(graph)
+
+
+# ---------------------------------------------------------------------------
+# structural oracles
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def partition_instance():
+    graph = sparse.union_of_random_forests(60, 2, seed=4)
+    return graph, h_partition(graph, arboricity=2)
+
+
+def test_h_partition_oracle_accepts_and_rejects(partition_instance):
+    graph, partition = partition_instance
+    oracle = HPartitionOracle()
+    assert oracle.check(graph=graph, partition=partition).ok
+
+    # corrupt: duplicate a vertex into a fresh trailing class — classes no
+    # longer partition V and class_of disagrees with the membership
+    victim = max(graph.vertices(), key=graph.degree)
+    corrupted = h_partition(graph, arboricity=2)
+    corrupted.classes.append({victim})
+    verdict = oracle.check(graph=graph, partition=corrupted)
+    assert not verdict.ok
+    assert any("appears in classes" in d and repr(victim) in d
+               for d in verdict.diagnostics)
+
+    # corrupt: understate the degree bound so the peel invariant breaks
+    squeezed = h_partition(graph, arboricity=2)
+    squeezed.degree_bound = 0.5
+    verdict = oracle.check(graph=graph, partition=squeezed)
+    assert not verdict.ok
+    assert any("degree bound" in d for d in verdict.diagnostics)
+
+
+def test_h_partition_oracle_rejects_dropped_vertex(partition_instance):
+    graph, _ = partition_instance
+    corrupted = h_partition(graph, arboricity=2)
+    victim = next(iter(corrupted.classes[0]))
+    corrupted.classes[0].discard(victim)
+    del corrupted.class_of[victim]
+    verdict = HPartitionOracle().check(graph=graph, partition=corrupted)
+    assert not verdict.ok
+    assert any("in no class" in d and repr(victim) in d for d in verdict.diagnostics)
+
+
+@pytest.fixture(scope="module")
+def forest_instance():
+    graph = classic.grid_2d(6, 8).freeze()
+    subset = set(graph.vertices())
+    return graph, subset, ruling_forest(graph, subset, alpha=3)
+
+
+def test_ruling_forest_oracle_accepts(forest_instance):
+    graph, subset, forest = forest_instance
+    verdict = RulingForestOracle().check(graph=graph, forest=forest, subset=subset)
+    assert verdict.ok and verdict.checked > 0
+
+
+def test_ruling_forest_oracle_rejects_dropped_edge(forest_instance):
+    graph, subset, _ = forest_instance
+    forest = ruling_forest(graph, subset, alpha=3)
+    # re-parent a non-root vertex onto a non-neighbour: the tree edge the
+    # domination argument walks no longer exists in the graph
+    victim = next(v for v, p in forest.parent.items() if p is not None)
+    far = next(
+        u for u in graph.vertices()
+        if u != victim and not graph.has_edge(victim, u)
+    )
+    forest.parent[victim] = far
+    verdict = RulingForestOracle().check(graph=graph, forest=forest, subset=subset)
+    assert not verdict.ok
+    assert any("not an edge" in d and repr(victim) in d for d in verdict.diagnostics)
+
+
+def test_ruling_forest_oracle_rejects_uncovered_subset(forest_instance):
+    graph, subset, _ = forest_instance
+    forest = ruling_forest(graph, subset, alpha=3)
+    victim = next(v for v, p in forest.parent.items() if p is not None)
+    del forest.parent[victim]
+    del forest.depth[victim]
+    del forest.tree_of[victim]
+    verdict = RulingForestOracle().check(graph=graph, forest=forest, subset=subset)
+    assert not verdict.ok
+    assert any("domination" in d for d in verdict.diagnostics)
+
+
+def test_ruling_forest_oracle_rejects_close_roots(forest_instance):
+    graph, subset, _ = forest_instance
+    forest = ruling_forest(graph, subset, alpha=3)
+    root = forest.roots[0]
+    neighbor = next(iter(graph.neighbors(root)))
+    # promote a neighbour of a root to root: distance 1 < alpha = 3
+    forest.roots.append(neighbor)
+    forest.parent[neighbor] = None
+    forest.depth[neighbor] = 0
+    forest.tree_of[neighbor] = neighbor
+    verdict = RulingForestOracle().check(graph=graph, forest=forest)
+    assert not verdict.ok
+    assert any("distance" in d and "alpha" in d for d in verdict.diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# rounds, parity, artifacts
+# ---------------------------------------------------------------------------
+
+def test_round_envelope_oracle(instance):
+    graph, result = instance
+    oracle = RoundEnvelopeOracle()
+    assert oracle.check(
+        kind="theorem13", rounds=result.rounds, n=len(graph), d=4
+    ).ok
+    verdict = oracle.check(
+        kind="theorem13", rounds=10 ** 9, n=len(graph), d=4
+    )
+    assert not verdict.ok
+    assert any("exceed" in d for d in verdict.diagnostics)
+    with pytest.raises(ValueError, match="unknown round envelope"):
+        oracle.check(kind="nonsense", rounds=1)
+
+
+def test_simulation_parity_oracle_rejects_divergence():
+    from repro.distributed.greedy_baseline import GreedyLocalMaximaAlgorithm
+
+    graph = classic.cycle(9)
+    inputs = {v: 2 for v in graph}
+    a = run_node_algorithm(graph, GreedyLocalMaximaAlgorithm, inputs=inputs, strict=True)
+    b = run_node_algorithm(graph, GreedyLocalMaximaAlgorithm, inputs=inputs, strict=True)
+    assert SimulationParityOracle().check(result_a=a, result_b=b).ok
+    b.outputs[0] = 99
+    b.rounds += 1
+    verdict = SimulationParityOracle().check(result_a=a, result_b=b)
+    assert not verdict.ok
+    assert any("rounds diverge" in d for d in verdict.diagnostics)
+    assert any("output of 0" in d for d in verdict.diagnostics)
+
+
+def test_verdict_raise_if_failed_carries_verdict(instance):
+    graph, result = instance
+    corrupted = dict(result.coloring)
+    u, v = next(iter(graph.edges()))
+    corrupted[u] = corrupted[v]
+    verdict = ProperColoringOracle().check(graph=graph, coloring=corrupted)
+    with pytest.raises(VerificationError, match="monochromatic") as info:
+        verdict.raise_if_failed()
+    assert info.value.verdict is verdict
+
+
+def _tiny_artifact():
+    return {
+        "schema_version": 1,
+        "name": "theorem13-colors",
+        "generated_at": 0.0,
+        "metadata": {"scenario": {"name": "theorem13-colors", "paper_ref": "Theorem 1.3"}},
+        "rows": [
+            {
+                "instance": "n=40 d=4",
+                "algorithm": "thm1.3 uniform lists",
+                "metrics": {"colors": 4, "budget": 4, "rounds": 100, "valid": True},
+                "seconds": 0.1,
+            },
+            {
+                "instance": "n=40 d=4",
+                "algorithm": "thm1.3 uniform lists [flat]",
+                "metrics": {"colors": 4, "budget": 4, "rounds": 100, "valid": True},
+                "seconds": 0.1,
+            },
+        ],
+    }
+
+
+def test_artifact_oracles_accept_then_reject_corruptions():
+    assert artifact_failures(_tiny_artifact()) == []
+
+    over_budget = _tiny_artifact()
+    over_budget["rows"][0]["metrics"]["colors"] = 9
+    failures = artifact_failures(over_budget)
+    assert any("budget" in f for f in failures)
+
+    diverged = _tiny_artifact()
+    diverged["rows"][1]["metrics"]["rounds"] = 101
+    failures = artifact_failures(diverged)
+    assert any("variant" in f and "rounds" in f for f in failures)
+
+    blown = _tiny_artifact()
+    for row in blown["rows"]:
+        row["metrics"]["rounds"] = 10 ** 9
+    failures = artifact_failures(blown)
+    assert any("envelope" in f for f in failures)
+
+    broken_schema = _tiny_artifact()
+    del broken_schema["rows"]
+    assert any("rows" in f for f in artifact_failures(broken_schema))
+
+    # malformed rows must come back as schema failures, never tracebacks
+    mangled = _tiny_artifact()
+    mangled["rows"].append({"metrics": {"colors": 9, "budget": 1, "rounds": 1}})
+    mangled["rows"].append({"instance": 7, "algorithm": None, "metrics": []})
+    failures = artifact_failures(mangled)
+    assert any("budget" in f for f in failures)
+
+
+def test_round_envelope_fires_for_theorem13_rounds_artifact():
+    """theorem13-rounds labels carry no d=; the envelope oracle must read
+    it from metadata.params instead of silently skipping the scenario."""
+    from repro.verify.artifact import verify_artifact_dict
+
+    artifact = {
+        "schema_version": 1,
+        "name": "theorem13-rounds",
+        "generated_at": 0.0,
+        "metadata": {
+            "scenario": {"name": "theorem13-rounds", "paper_ref": "Theorem 1.3"},
+            "params": {"d": 4, "sizes": [40], "backends": ["dict"]},
+        },
+        "rows": [
+            {
+                "instance": "n=40",
+                "algorithm": "thm1.3 (paper radius)",
+                "metrics": {"n": 40, "rounds": 12_000},
+                "seconds": 0.1,
+            },
+        ],
+    }
+    envelope = next(
+        v for v in verify_artifact_dict(artifact) if "round-envelope" in v.oracle
+    )
+    assert envelope.ok and envelope.checked > 0  # the oracle really fired
+    artifact["rows"][0]["metrics"]["rounds"] = 10 ** 9
+    assert any("envelope" in f for f in artifact_failures(artifact))
+
+
+# ---------------------------------------------------------------------------
+# the locality auditor rejects cheating programs
+# ---------------------------------------------------------------------------
+
+class _GlobalPeeker(BatchNodeAlgorithm):
+    """A batched program that outputs the *array length* — global knowledge
+    no message-passing node could have.  On a truncated r-ball network the
+    array is smaller, so the auditor must flag every vertex."""
+
+    fallback = None
+
+    def initialize_batch(self, context):
+        super().initialize_batch(context)
+
+    def is_finished_batch(self):
+        return True
+
+    def results_batch(self):
+        return [self.context.n] * self.context.n
+
+
+class _HonestConstant(NodeAlgorithm):
+    def result(self):
+        return 42
+
+
+def test_locality_auditor_flags_global_peeker():
+    graph = classic.path(30)
+    report = audit_locality(graph, _GlobalPeeker, vertices=[10, 15])
+    # rounds == 0, so the ball has radius 1 — far smaller than the path
+    assert report.rounds == 0
+    assert not report.ok
+    assert {v.vertex for v in report.violations} == {10, 15}
+    verdict = LocalityOracle().check(
+        graph=graph, algorithm_factory=_GlobalPeeker, vertices=[10]
+    )
+    assert not verdict.ok
+    assert any("beyond its r-ball" in d for d in verdict.diagnostics)
+
+
+def test_locality_auditor_passes_honest_program():
+    graph = classic.path(30)
+    report = audit_locality(graph, _HonestConstant, vertices=[0, 7, 29])
+    assert report.ok
