@@ -1,5 +1,6 @@
-"""Experiment harness and curve fitting used by the benchmarks."""
+"""Experiment harness, zero-copy graph fan-out and curve fitting."""
 
+from repro.analysis import shared
 from repro.analysis.fitting import PolylogFit, fit_polylog, normalized_by_polylog
 from repro.analysis.runner import (
     BatchTask,
@@ -7,6 +8,7 @@ from repro.analysis.runner import (
     ExperimentRunner,
     derive_seed,
 )
+from repro.analysis.shared import SharedGraphHandle
 
 __all__ = [
     "PolylogFit",
@@ -16,4 +18,6 @@ __all__ = [
     "ExperimentRunner",
     "BatchTask",
     "derive_seed",
+    "SharedGraphHandle",
+    "shared",
 ]

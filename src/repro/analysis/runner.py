@@ -23,9 +23,11 @@ repository can be tracked across PRs instead of living in scrollback.
 
 from __future__ import annotations
 
+import datetime
 import hashlib
 import json
 import re
+import sys
 import time
 from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -41,6 +43,25 @@ __all__ = [
 ]
 
 JSON_SCHEMA_VERSION = 1
+#: minor revisions add optional fields without breaking schema-v1 readers:
+#: 1 = generated_at_iso on artifacts, peak_rss_bytes on rows
+JSON_SCHEMA_MINOR = 1
+
+
+def _peak_rss_bytes() -> int | None:
+    """Lifetime peak resident-set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux but bytes on macOS; ``None`` when the
+    platform has no ``resource`` module (Windows).  Note this is a process
+    high-water mark, so it is monotone across rows — comparable across runs,
+    not across rows of one run.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
 
 
 @dataclass
@@ -119,6 +140,10 @@ def _execute_batch_task(
         metrics = dict(task.fn(*task.args, **task.kwargs))
     except Exception as exc:  # noqa: BLE001 - transported to the parent
         return index, None, time.perf_counter() - start, exc
+    peak = _peak_rss_bytes()
+    if peak is not None:
+        # setdefault: a task that measured a more specific figure wins
+        metrics.setdefault("peak_rss_bytes", peak)
     return index, metrics, time.perf_counter() - start, None
 
 
@@ -140,6 +165,9 @@ class ExperimentRunner:
         start = time.perf_counter()
         metrics = dict(fn())
         elapsed = time.perf_counter() - start
+        peak = _peak_rss_bytes()
+        if peak is not None:
+            metrics.setdefault("peak_rss_bytes", peak)
         row = ExperimentRow(
             instance=instance, algorithm=algorithm, metrics=metrics, seconds=elapsed
         )
@@ -275,10 +303,14 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def to_json_dict(self) -> dict[str, Any]:
         """The machine-readable form of this runner (schema-versioned)."""
+        now = time.time()
+        stamp = datetime.datetime.fromtimestamp(now, tz=datetime.timezone.utc)
         return {
             "schema_version": JSON_SCHEMA_VERSION,
+            "schema_minor": JSON_SCHEMA_MINOR,
             "name": self.name,
-            "generated_at": time.time(),
+            "generated_at": now,
+            "generated_at_iso": stamp.isoformat(timespec="seconds"),
             "metadata": _jsonify(self.metadata),
             "rows": [row.to_json_dict() for row in self.rows],
         }

@@ -1,6 +1,6 @@
 """``python -m repro`` — the reproduction's command line.
 
-Four subcommands drive the scenario registry
+Five subcommands drive the scenario registry
 (:mod:`repro.scenarios`) and the conformance oracles (:mod:`repro.verify`):
 
 * ``list`` — show every registered scenario (name, paper statement,
@@ -12,16 +12,20 @@ Four subcommands drive the scenario registry
 * ``verify [artifacts...]`` — replay the conformance oracle suite (schema,
   paper budgets, cross-variant parity, round envelopes) against existing
   BENCH artifacts, or — with ``--smoke`` — against a freshly run smoke
-  campaign.  This is the CI gate documented in ``docs/verification.md``.
+  campaign.  This is the CI gate documented in ``docs/verification.md``;
+* ``corpus`` — inspect the on-disk instance cache (``REPRO_CORPUS_DIR``)
+  and prune it back under its size cap with ``--prune``.
 
 Examples::
 
     python -m repro list
     python -m repro run theorem13-colors --smoke --verify
     python -m repro run theorem13-rounds --n 60,120,240 --seed 7 --profile
+    python -m repro run scale --set sizes=1000000,
     python -m repro campaign --smoke --out artifacts/
     python -m repro verify BENCH_coloring.json
     python -m repro verify --smoke --out ci-artifacts/
+    python -m repro corpus --prune --max-bytes 2000000000
 """
 
 from __future__ import annotations
@@ -150,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="campaign to run under --smoke (default: all)")
     p_verify.add_argument("--quiet", action="store_true",
                           help="only report failures")
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="inspect or prune the on-disk instance cache",
+    )
+    p_corpus.add_argument("--dir", default=None,
+                          help="cache directory (default: $REPRO_CORPUS_DIR)")
+    p_corpus.add_argument("--prune", action="store_true",
+                          help="evict least-recently-used files over the cap")
+    p_corpus.add_argument("--max-bytes", type=int, default=None,
+                          help="size cap for --prune "
+                               "(default: $REPRO_CORPUS_MAX_BYTES; 0 empties)")
     return parser
 
 
@@ -328,6 +344,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if total_failures else 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus import InstanceCorpus
+
+    corpus = InstanceCorpus(cache_dir=args.dir, max_bytes=args.max_bytes)
+    if corpus.cache_dir is None:
+        raise ScenarioError(
+            "no cache directory: pass --dir or set REPRO_CORPUS_DIR"
+        )
+    files = corpus.cache_files()
+    total = corpus.cache_size_bytes()
+    print(f"corpus cache {corpus.cache_dir} — {len(files)} file(s), "
+          f"{total / 2**20:.1f} MiB"
+          + (f", cap {corpus.max_bytes / 2**20:.1f} MiB"
+             if corpus.max_bytes is not None else ", no cap"))
+    for path in files:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        print(f"  {size:>12}  {path.name}")
+    if args.prune:
+        if corpus.max_bytes is None:
+            raise ScenarioError(
+                "--prune needs a cap: pass --max-bytes or set "
+                "REPRO_CORPUS_MAX_BYTES"
+            )
+        evicted = corpus.prune()
+        print(f"pruned {len(evicted)} file(s), "
+              f"{corpus.cache_size_bytes() / 2**20:.1f} MiB kept")
+        for path in evicted:
+            print(f"  evicted {path.name}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -337,6 +387,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "verify":
             return _cmd_verify(args)
+        if args.command == "corpus":
+            return _cmd_corpus(args)
         return _cmd_campaign(args)
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)

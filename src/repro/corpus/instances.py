@@ -19,7 +19,12 @@ experiments draw from: planar triangulations, bounded-mad/degenerate
 graphs, forest unions, surface grids, k-trees, power-law graphs, plus the
 deterministic classics (paths, grids, toruses) and the degenerate edge
 cases (empty and single-vertex instances) that once lived only in bug
-reports.
+reports.  The ``stream-*`` families are the million-node tier: their
+builders return identity-labelled :class:`FrozenGraph` objects directly
+(see :mod:`repro.graphs.generators.streaming`), they are cached on disk
+as memory-mappable npz files keyed by content digest, and
+:func:`graph_digest` hashes their CSR arrays in vectorized passes instead
+of walking a Python edge list.
 """
 
 from __future__ import annotations
@@ -33,10 +38,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.errors import GeneratorError
-from repro.graphs.frozen import FrozenGraph, freeze
+from repro.errors import GeneratorError, GraphError
+from repro.graphs.frozen import HAS_NUMPY, FrozenGraph, freeze
 from repro.graphs.graph import Graph
-from repro.graphs.generators import classic, planar, sparse, surfaces
+from repro.graphs.generators import classic, planar, sparse, streaming, surfaces
+
+if HAS_NUMPY:
+    import numpy as _np
 
 __all__ = [
     "Family",
@@ -49,7 +57,6 @@ __all__ = [
     "standard_instance",
 ]
 
-
 @dataclass(frozen=True)
 class Family:
     """One generator family of the corpus matrix."""
@@ -60,6 +67,9 @@ class Family:
     #: whether the builder takes a ``seed`` keyword (deterministic
     #: constructions like grids and toruses do not)
     seeded: bool = True
+    #: streaming families build FrozenGraphs directly from edge ndarrays
+    #: and cache on disk as npz instead of JSON edge lists
+    streaming: bool = False
 
 
 FAMILIES: dict[str, Family] = {
@@ -85,6 +95,17 @@ FAMILIES: dict[str, Family] = {
                "planar rectangular grid (bipartite, girth 4)", False),
         Family("path", classic.path, "path on n vertices", False),
         Family("empty", classic.empty_graph, "n isolated vertices", False),
+        Family("stream-degenerate", streaming.stream_degenerate_graph,
+               "streaming random k-degenerate graph (million-node tier)",
+               True, True),
+        Family("stream-forest", streaming.stream_forest_union,
+               "streaming union of random spanning forests", True, True),
+        Family("stream-k-tree", streaming.stream_k_tree,
+               "streaming random k-tree (treewidth k)", True, True),
+        Family("stream-power-law", streaming.stream_power_law,
+               "streaming chunked preferential attachment", True, True),
+        Family("stream-torus", streaming.stream_torus,
+               "shuffled 6-regular toroidal grid, integer labels", False, True),
     )
 }
 
@@ -129,14 +150,126 @@ class InstanceSpec:
         return FAMILIES[self.family].builder(**dict(self.params))
 
 
+def _decimal_lengths(x):
+    """Digit count of every entry of a nonnegative int64 array."""
+    lengths = _np.ones(len(x), dtype=_np.int64)
+    if len(x) == 0:
+        return lengths
+    top = int(x.max())
+    bound = 10
+    while bound <= top:
+        lengths += x >= bound
+        bound *= 10
+    return lengths
+
+
+def _lex_composites(x, width):
+    """Int64 keys whose numeric order equals the *string* order of ``str(x)``.
+
+    ``str(a) < str(b)`` iff the zero-right-padded value of ``a`` (to
+    ``width`` digits) is smaller, with digit count breaking the tie (the
+    prefix rule: ``"1" < "10"``).  Both criteria packed into one int64 so
+    string comparisons and sorts become integer ops — this is what makes
+    the digest fast path fast.  Returns ``(composite, digit_lengths)``.
+    """
+    lengths = _decimal_lengths(x)
+    padded = x * 10 ** (width - lengths)
+    return padded * (width + 1) + lengths, lengths
+
+
+def _pack_decimal_rows(prefix: int, seps, columns, lengths):
+    """Concatenated ``prefix dec(col0) sep dec(col1) ...`` rows as uint8.
+
+    Builds the exact byte stream the slow digest path would hash — decimal
+    reprs of varying width — without creating a single Python string: row
+    offsets come from a cumsum of digit counts and every digit position is
+    one vectorized scatter.
+    """
+    rows = len(columns[0])
+    row_w = _np.full(rows, 1 + len(seps), dtype=_np.int64)
+    for col_lengths in lengths:
+        row_w += col_lengths
+    starts = _np.zeros(rows + 1, dtype=_np.int64)
+    _np.cumsum(row_w, out=starts[1:])
+    buf = _np.empty(int(starts[-1]), dtype=_np.uint8)
+    pos = starts[:-1].copy()
+    buf[pos] = prefix
+    pos += 1
+    for index, (col, col_lengths) in enumerate(zip(columns, lengths)):
+        if index:
+            buf[pos] = seps[index - 1]
+            pos += 1
+        end = pos + col_lengths
+        power = 1
+        for d in range(int(col_lengths.max()) if rows else 0):
+            mask = col_lengths > d
+            digit = (col[mask] // power) % 10
+            buf[end[mask] - 1 - d] = digit + 48  # ord("0")
+            power *= 10
+        pos = end
+    return buf
+
+
+def _csr_digest(graph: FrozenGraph) -> str:
+    """Digest fast path: hash the CSR arrays of an identity-labelled graph.
+
+    Byte-for-byte the same hash stream as the slow path — vertex reprs in
+    lexicographic order, then per-edge ``min/max`` repr pairs in
+    lexicographic pair order — but assembled with integer numpy passes
+    (see :func:`_lex_composites`).  Only valid for identity labels, where
+    ``repr(label) == str(index)``.
+    """
+    h = hashlib.sha256()
+    n = len(graph)
+    offsets, neighbors = graph.csr_arrays()
+    width = len(str(n - 1)) if n else 1
+    ids = _np.arange(n, dtype=_np.int64)
+    vkeys, vlengths = _lex_composites(ids, width)
+    order = _np.argsort(vkeys)
+    h.update(_pack_decimal_rows(ord("v"), (), [ids[order]], [vlengths[order]]))
+    src = _np.repeat(ids, _np.diff(offsets))
+    neighbors = _np.asarray(neighbors)
+    keep = src < neighbors  # each undirected edge once
+    a, b = src[keep], neighbors[keep]
+    akeys, alengths = _lex_composites(a, width)
+    bkeys, blengths = _lex_composites(b, width)
+    swap = bkeys < akeys  # string min/max, e.g. "10" < "2"
+    lo = _np.where(swap, b, a)
+    hi = _np.where(swap, a, b)
+    lo_lengths = _np.where(swap, blengths, alengths)
+    hi_lengths = _np.where(swap, alengths, blengths)
+    order = _np.lexsort(
+        (_np.where(swap, akeys, bkeys), _np.where(swap, bkeys, akeys))
+    )
+    h.update(
+        _pack_decimal_rows(
+            ord("e"),
+            (0x1F,),
+            [lo[order], hi[order]],
+            [lo_lengths[order], hi_lengths[order]],
+        )
+    )
+    return h.hexdigest()[:16]
+
+
 def graph_digest(graph) -> str:
     """Order-independent SHA-256 fingerprint of a graph's vertices and edges.
 
     Stable across vertex orderings, freezes and (de)serialization round
     trips — two graphs share a digest iff they have the same labelled
     vertex and edge sets.  This is the value the golden seed-stability
-    tests pin per corpus instance.
+    tests pin per corpus instance.  Identity-labelled frozen graphs on the
+    numpy backend (the streaming families) take a vectorized CSR fast path
+    that produces the identical hash stream.
     """
+    if (
+        HAS_NUMPY
+        and isinstance(graph, FrozenGraph)
+        and graph._use_numpy
+        and graph.identity_labels
+        and len(graph) < 10**17  # composite sort keys must fit in int64
+    ):
+        return _csr_digest(graph)
     h = hashlib.sha256()
     for v in sorted(map(repr, graph.vertices())):
         h.update(b"v")
@@ -193,23 +326,44 @@ def _decode_graph(payload: Mapping[str, Any], name: str) -> Graph:
 class InstanceCorpus:
     """Lazy, memoizing, optionally disk-backed corpus of named instances.
 
-    ``cache_dir`` enables the disk layer (one JSON file per spec,
-    content-addressed by ``spec_key``); it defaults to the
+    ``cache_dir`` enables the disk layer; it defaults to the
     ``REPRO_CORPUS_DIR`` environment variable and stays purely in-memory
-    when neither is set.  Cached files are validated against their stored
-    content digest on load — a corrupted or stale file is silently
-    regenerated, never trusted.
+    when neither is set.  Classic families cache one JSON edge list per
+    spec (content-addressed by ``spec_key``); streaming families cache a
+    memory-mappable npz per spec, named ``family-speckey-digest.npz`` so
+    the content digest is readable without opening the file.  Cached files
+    are validated against their content digest on load — a corrupted or
+    stale file is silently regenerated, never trusted.
+
+    ``max_bytes`` (default: the ``REPRO_CORPUS_MAX_BYTES`` environment
+    variable) caps the on-disk footprint: after every store the least
+    recently *used* files are evicted until the cache fits — loads touch
+    mtimes, so hot instances survive.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None):
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        max_bytes: int | None = None,
+    ):
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_CORPUS_DIR") or None
+        if max_bytes is None:
+            raw = os.environ.get("REPRO_CORPUS_MAX_BYTES", "")
+            max_bytes = int(raw) if raw.strip().isdigit() else None
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.max_bytes = max_bytes
         self._frozen: dict[InstanceSpec, FrozenGraph] = {}
 
     # ------------------------------------------------------------------
     def build(self, spec: InstanceSpec) -> Graph:
-        """A fresh *mutable* graph for the spec (cache-backed, never shared)."""
+        """A fresh *mutable* graph for the spec (cache-backed, never shared).
+
+        Streaming specs have no mutable form — they return the (immutable)
+        frozen view instead; mutation attempts raise ``GraphError``.
+        """
+        if FAMILIES[spec.family].streaming:
+            return self.frozen(spec)
         cached = self._load(spec)
         if cached is not None:
             return cached
@@ -221,7 +375,13 @@ class InstanceCorpus:
         """The memoized frozen view of the spec (shared; treat as immutable)."""
         view = self._frozen.get(spec)
         if view is None:
-            view = freeze(self.build(spec))
+            if FAMILIES[spec.family].streaming:
+                view = self._load_npz(spec)
+                if view is None:
+                    view = spec.build()
+                    self._store_npz(spec, view)
+            else:
+                view = freeze(self.build(spec))
             self._frozen[spec] = view
         return view
 
@@ -244,6 +404,7 @@ class InstanceCorpus:
             graph = _decode_graph(payload, spec.name)
             if graph_digest(graph) != payload.get("digest"):
                 return None  # corrupted or stale: fall through to regenerate
+            _touch(path)
             return graph
         except (OSError, ValueError, KeyError, SyntaxError):
             return None
@@ -257,6 +418,118 @@ class InstanceCorpus:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(payload)
         os.replace(tmp, path)  # atomic: parallel workers race benignly
+        self._enforce_cap()
+
+    # ------------------------------------------------------------------
+    # npz layer (streaming families)
+    # ------------------------------------------------------------------
+    def npz_path(self, spec: InstanceSpec) -> Path | None:
+        """The existing npz cache file for a streaming spec, if any.
+
+        Useful as the shared-memory fallback transport handed to
+        :func:`repro.analysis.shared.publish`.
+        """
+        if self.cache_dir is None or not FAMILIES[spec.family].streaming:
+            return None
+        hits = sorted(self.cache_dir.glob(f"{spec.family}-{spec.spec_key}-*.npz"))
+        return hits[0] if hits else None
+
+    def _load_npz(self, spec: InstanceSpec) -> FrozenGraph | None:
+        path = self.npz_path(spec)
+        if path is None:
+            return None
+        try:
+            graph = FrozenGraph.load_npz(path, mmap=True)
+        except (OSError, ValueError, GraphError):
+            return None
+        expected = path.stem.rsplit("-", 1)[-1]
+        if graph_digest(graph) != expected:
+            return None  # stale or corrupted: regenerate
+        _touch(path)
+        return graph
+
+    def _store_npz(self, spec: InstanceSpec, graph: FrozenGraph) -> None:
+        if (
+            self.cache_dir is None
+            or not isinstance(graph, FrozenGraph)
+            or not (HAS_NUMPY and graph._use_numpy)
+        ):
+            return
+        digest = graph_digest(graph)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{spec.family}-{spec.spec_key}-{digest}.npz"
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            graph.save_npz(tmp)
+        except (OSError, GraphError):
+            return
+        os.replace(tmp, path)
+        self._enforce_cap()
+
+    # ------------------------------------------------------------------
+    # size cap / LRU eviction
+    # ------------------------------------------------------------------
+    def cache_files(self) -> list[Path]:
+        """Every cache file on disk (JSON edge lists and npz instances)."""
+        if self.cache_dir is None or not self.cache_dir.exists():
+            return []
+        return sorted(
+            p
+            for p in self.cache_dir.iterdir()
+            if p.is_file() and p.suffix in (".json", ".npz")
+        )
+
+    def cache_size_bytes(self) -> int:
+        """Total on-disk footprint of the cache."""
+        total = 0
+        for path in self.cache_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def prune(self, max_bytes: int | None = None) -> list[Path]:
+        """Evict least-recently-used files until the cache fits; returns them.
+
+        ``max_bytes`` defaults to the corpus cap; ``0`` empties the cache.
+        A corpus with no cap configured prunes nothing unless one is given.
+        """
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        if limit is None:
+            return []
+        entries = []
+        for path in self.cache_files():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        evicted: list[Path] = []
+        for _mtime, size, path in entries:
+            if total <= limit:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted.append(path)
+        return evicted
+
+    def _enforce_cap(self) -> None:
+        if self.max_bytes is not None:
+            self.prune()
+
+
+def _touch(path: Path) -> None:
+    """Best-effort LRU bookkeeping: a cache hit refreshes the file's mtime."""
+    try:
+        os.utime(path, None)
+    except OSError:
+        pass
 
 
 _DEFAULT: InstanceCorpus | None = None

@@ -25,6 +25,18 @@ the read-heavy pipeline.  :meth:`FrozenGraph.thaw` converts back when
 mutation is needed again.  Global statistics computed along the way
 (degeneracy order, core numbers, the greedy mad lower bound, max degree)
 are cached on the instance — immutability makes that safe.
+
+Million-node instances bypass :class:`Graph` entirely:
+
+* :meth:`FrozenGraph.from_edge_array` builds the CSR form straight from a
+  ``(m, 2)`` integer edge ndarray (self-loops dropped, duplicates merged)
+  with *identity labels* ``0..n-1``, stored as a ``range`` plus an O(1)
+  index view instead of a boxed label list and a dict — the per-vertex
+  label machinery would otherwise dominate memory at n = 10^6;
+* :meth:`save_npz` / :meth:`load_npz` give the graph an on-disk form; the
+  npz members are stored uncompressed, so :meth:`load_npz` can memory-map
+  ``indptr`` / ``indices`` directly out of the zip container (falling back
+  to a regular load when the file layout does not permit it).
 """
 
 from __future__ import annotations
@@ -44,9 +56,55 @@ if os.environ.get("REPRO_FORCE_PYTHON_BACKEND"):  # CI runs the suite both ways
 from repro.errors import GraphError
 from repro.graphs.graph import Edge, Graph, Vertex
 
-__all__ = ["FrozenGraph", "GraphLike", "freeze", "HAS_NUMPY"]
+__all__ = ["FrozenGraph", "GraphLike", "freeze", "HAS_NUMPY", "NPZ_FORMAT_VERSION"]
 
 HAS_NUMPY = _np is not None
+
+#: version tag written into (and required from) the npz on-disk form
+NPZ_FORMAT_VERSION = 1
+
+
+class _IdentityIndex:
+    """Read-only ``{i: i for i in range(n)}`` without storing n dict entries.
+
+    The label index of an identity-labelled :class:`FrozenGraph`: supports
+    exactly the mapping operations the frozen read paths use (``[]``,
+    ``get``, ``in``, ``len``, iteration) with dict-equivalent semantics
+    (``1.0`` hashes like ``1``, so it resolves like ``1``).
+    """
+
+    __slots__ = ("_n",)
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+
+    def _as_index(self, v) -> int | None:
+        try:
+            i = int(v)
+        except (TypeError, ValueError):
+            return None
+        if v == i and 0 <= i < self._n:
+            return i
+        return None
+
+    def __getitem__(self, v) -> int:
+        i = self._as_index(v)
+        if i is None:
+            raise KeyError(v)
+        return i
+
+    def get(self, v, default=None):
+        i = self._as_index(v)
+        return default if i is None else i
+
+    def __contains__(self, v) -> bool:
+        return self._as_index(v) is not None
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self):
+        return iter(range(self._n))
 
 
 @runtime_checkable
@@ -117,10 +175,16 @@ class FrozenGraph:
         if use_numpy is None:
             use_numpy = HAS_NUMPY
         self._use_numpy = bool(use_numpy and HAS_NUMPY)
-        self._labels = list(labels)
-        self._index: dict[Vertex, int] = {v: i for i, v in enumerate(self._labels)}
-        if len(self._index) != len(self._labels):
-            raise GraphError("duplicate vertex labels in FrozenGraph")
+        if isinstance(labels, range) and labels == range(len(labels)):
+            # identity labels (0..n-1): keep the range and a virtual index
+            # instead of materializing n boxed ints plus an n-entry dict
+            self._labels = labels
+            self._index = _IdentityIndex(len(labels))
+        else:
+            self._labels = list(labels)
+            self._index = {v: i for i, v in enumerate(self._labels)}
+            if len(self._index) != len(self._labels):
+                raise GraphError("duplicate vertex labels in FrozenGraph")
         if self._use_numpy:
             self._offsets = _np.asarray(offsets, dtype=_np.int64)
             self._neighbors = _np.asarray(neighbors, dtype=_np.int64)
@@ -180,9 +244,156 @@ class FrozenGraph:
             Graph(vertices=vertices, edges=edges, name=name), use_numpy=use_numpy
         )
 
+    @classmethod
+    def from_edge_array(
+        cls,
+        n: int,
+        edges,
+        name: str = "",
+        metadata: dict[str, Any] | None = None,
+    ) -> "FrozenGraph":
+        """Build an identity-labelled frozen graph from a ``(m, 2)`` edge ndarray.
+
+        This is the streaming-generator entry point: no :class:`Graph`, no
+        per-vertex dicts — the edge array is symmetrized, self-loops are
+        dropped, duplicate edges are merged, and the CSR pair is produced
+        with a handful of vectorized passes.  Vertex labels are ``0..n-1``
+        (see :attr:`identity_labels`).  Entries must lie in ``[0, n)``.
+        """
+        if n < 0:
+            raise GraphError(f"negative vertex count {n}")
+        if not HAS_NUMPY:
+            # correctness fallback for numpy-less installs; the million-node
+            # path always has numpy
+            g = Graph(vertices=range(n), name=name, metadata=metadata)
+            for u, v in edges:
+                u, v = int(u), int(v)
+                if u != v:
+                    g.add_edge(u, v)
+            return cls.from_graph(g, use_numpy=False)
+        edge_arr = _np.asarray(edges, dtype=_np.int64)
+        if edge_arr.size == 0:
+            edge_arr = edge_arr.reshape(0, 2)
+        if edge_arr.ndim != 2 or edge_arr.shape[1] != 2:
+            raise GraphError(
+                f"edge array must have shape (m, 2), got {edge_arr.shape}"
+            )
+        if edge_arr.size and (int(edge_arr.min()) < 0 or int(edge_arr.max()) >= n):
+            raise GraphError(f"edge endpoints must lie in [0, {n})")
+        lo = _np.minimum(edge_arr[:, 0], edge_arr[:, 1])
+        hi = _np.maximum(edge_arr[:, 0], edge_arr[:, 1])
+        keep = lo != hi  # self-loops have no place in a simple graph
+        keys = _np.sort(lo[keep] * n + hi[keep])  # n^2 < 2^63 for any real n
+        if keys.size:  # drop duplicate edges (sort + adjacent-diff dedupe
+            # is an order of magnitude faster than np.unique here)
+            keys = keys[_np.concatenate(([True], keys[1:] != keys[:-1]))]
+        lo, hi = keys // n, keys % n
+        src = _np.concatenate([lo, hi])
+        dst = _np.concatenate([hi, lo])
+        # keys are distinct, so the default (unstable) sort is safe
+        order = _np.argsort(src * n + dst)
+        counts = _np.bincount(src, minlength=n)
+        offsets = _np.concatenate(
+            ([0], _np.cumsum(counts, dtype=_np.int64))
+        ).astype(_np.int64, copy=False)
+        return cls(range(n), offsets, dst[order], name=name, metadata=metadata)
+
     def freeze(self) -> "FrozenGraph":
         """Already frozen; returns ``self`` (mirror of :meth:`Graph.freeze`)."""
         return self
+
+    # ------------------------------------------------------------------
+    # On-disk form: npz with memory-mappable CSR members
+    # ------------------------------------------------------------------
+    def save_npz(self, path) -> None:
+        """Write the graph as an *uncompressed* ``.npz`` file.
+
+        Members: ``format_version``, ``n``, ``indptr``/``indices`` (the CSR
+        pair, int64), plus ``name``, a JSON dict of repr-round-trippable
+        metadata, and — only for non-identity labels — a ``labels_repr``
+        string array.  Uncompressed storage is deliberate: it lets
+        :meth:`load_npz` hand back memory-mapped CSR arrays.
+        """
+        if not self._use_numpy:
+            raise GraphError("save_npz requires the numpy backend")
+        import ast
+        import json
+
+        meta: dict[str, str] = {}
+        for key, value in self.metadata.items():
+            try:
+                if ast.literal_eval(repr(value)) == value:
+                    meta[str(key)] = repr(value)
+            except (ValueError, SyntaxError):
+                continue  # not repr-round-trippable: drop, never corrupt
+        arrays: dict[str, Any] = {
+            "format_version": _np.array([NPZ_FORMAT_VERSION], dtype=_np.int64),
+            "n": _np.array([len(self._labels)], dtype=_np.int64),
+            "indptr": _np.ascontiguousarray(self._offsets, dtype=_np.int64),
+            "indices": _np.ascontiguousarray(self._neighbors, dtype=_np.int64),
+            "name": _np.array(self.name or ""),
+            "meta_json": _np.array(json.dumps(meta, sort_keys=True)),
+        }
+        if not self.identity_labels:
+            arrays["labels_repr"] = _np.array([repr(v) for v in self._labels])
+        with open(os.fspath(path), "wb") as fh:
+            _np.savez(fh, **arrays)
+
+    @classmethod
+    def load_npz(cls, path, mmap: bool = True) -> "FrozenGraph":
+        """Load a graph written by :meth:`save_npz`.
+
+        With ``mmap=True`` (the default) the CSR arrays are memory-mapped
+        read-only straight out of the zip container — the graph opens in
+        O(1) memory and pages are shared between every process that maps
+        the same file.  Falls back to a regular in-memory load when the
+        members cannot be mapped (compressed or foreign files).
+        """
+        if not HAS_NUMPY:
+            raise GraphError("load_npz requires numpy")
+        import ast
+        import json
+
+        path = os.fspath(path)
+        with _np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"][0])
+            if version > NPZ_FORMAT_VERSION:
+                raise GraphError(
+                    f"npz graph format {version} is newer than supported "
+                    f"{NPZ_FORMAT_VERSION}"
+                )
+            n = int(data["n"][0])
+            name = str(data["name"][()]) if "name" in data.files else ""
+            metadata: dict[str, Any] = {}
+            if "meta_json" in data.files:
+                for key, encoded in json.loads(str(data["meta_json"][()])).items():
+                    try:
+                        metadata[key] = ast.literal_eval(encoded)
+                    except (ValueError, SyntaxError):
+                        continue
+            if "labels_repr" in data.files:
+                labels: Any = [ast.literal_eval(s) for s in data["labels_repr"]]
+            else:
+                labels = range(n)
+            mapped = _npz_memmaps(path, ("indptr", "indices")) if mmap else None
+            if mapped is not None:
+                indptr, indices = mapped["indptr"], mapped["indices"]
+            else:
+                indptr, indices = data["indptr"], data["indices"]
+        graph = cls(labels, indptr, indices, name=name, metadata=metadata)
+        if len(graph._offsets) != n + 1:
+            raise GraphError(
+                f"npz graph is corrupt: indptr has {len(graph._offsets)} "
+                f"entries for n={n}"
+            )
+        return graph
+
+    @property
+    def identity_labels(self) -> bool:
+        """True when vertex labels are exactly ``0..n-1`` in index order."""
+        if isinstance(self._labels, range):
+            return True
+        return all(type(v) is int and v == i for i, v in enumerate(self._labels))
 
     def thaw(self) -> Graph:
         """Convert back to a mutable :class:`Graph` (labels preserved)."""
@@ -617,7 +828,7 @@ class FrozenGraph:
                 _np.repeat(rows, counts), minlength=len(unique_indices)
             )
             boundaries = _np.cumsum(per_row)[:-1]
-            identity_labels = labels == list(range(n))
+            identity_labels = self.identity_labels
             for i, chunk in zip(unique_indices, _np.split(members, boundaries)):
                 values = chunk.tolist()
                 decoded[masks[i]] = (
@@ -833,24 +1044,89 @@ class FrozenGraph:
         return id(self)
 
     def __getstate__(self):
+        # CSR arrays pickle natively (raw int64 buffers, no per-element
+        # boxing) and identity labels travel as just the vertex count —
+        # keeps worker handoff cheap even when a graph must be pickled
+        if self._use_numpy:
+            offsets = _np.ascontiguousarray(self._offsets)
+            neighbors = _np.ascontiguousarray(self._neighbors)
+        else:
+            offsets, neighbors = list(self._offsets), list(self._neighbors)
+        identity = isinstance(self._labels, range)
         return {
-            "labels": self._labels,
-            "offsets": [int(x) for x in self._offsets],
-            "neighbors": [int(x) for x in self._neighbors],
+            "labels": None if identity else list(self._labels),
+            "n": len(self._labels),
+            "offsets": offsets,
+            "neighbors": neighbors,
             "name": self.name,
             "metadata": self.metadata,
             "use_numpy": self._use_numpy,
         }
 
     def __setstate__(self, state):
+        labels = state["labels"]
+        if labels is None:
+            labels = range(state["n"])
         self.__init__(
-            state["labels"],
+            labels,
             state["offsets"],
             state["neighbors"],
             name=state["name"],
             metadata=state["metadata"],
             use_numpy=state["use_numpy"],
         )
+
+
+def _npz_memmaps(path: str, members: tuple[str, ...]):
+    """Memory-map uncompressed ``.npy`` members of an npz zip file.
+
+    ``np.load(..., mmap_mode=...)`` silently ignores the mmap request for
+    npz containers, so this locates each member's data inside the zip by
+    hand: the member must be stored (``ZIP_STORED``), its local file
+    header gives the payload offset, and the npy header at that offset
+    gives dtype/shape/order for an ``np.memmap`` window.  Returns ``None``
+    whenever the file deviates from that layout (compressed members,
+    unexpected npy versions) — callers fall back to a regular load.
+    """
+    import zipfile
+
+    out: dict[str, Any] = {}
+    try:
+        with zipfile.ZipFile(path) as zf, open(path, "rb") as fh:
+            for member in members:
+                try:
+                    info = zf.getinfo(member + ".npy")
+                except KeyError:
+                    return None
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                fh.seek(info.header_offset)
+                local = fh.read(30)
+                if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                    return None
+                name_len = int.from_bytes(local[26:28], "little")
+                extra_len = int.from_bytes(local[28:30], "little")
+                fh.seek(info.header_offset + 30 + name_len + extra_len)
+                version = _np.lib.format.read_magic(fh)
+                if version == (1, 0):
+                    shape, fortran, dtype = _np.lib.format.read_array_header_1_0(fh)
+                elif version == (2, 0):
+                    shape, fortran, dtype = _np.lib.format.read_array_header_2_0(fh)
+                else:
+                    return None
+                if dtype.hasobject:
+                    return None
+                out[member] = _np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    shape=shape,
+                    order="F" if fortran else "C",
+                    offset=fh.tell(),
+                )
+    except (OSError, ValueError, zipfile.BadZipFile):
+        return None
+    return out
 
 
 def freeze(graph: GraphLike, use_numpy: bool | None = None) -> FrozenGraph:

@@ -1,5 +1,5 @@
-"""Graph generators: classic families, planar graphs, sparse graphs, surfaces."""
+"""Graph generators: classic, planar, sparse, surface and streaming families."""
 
-from repro.graphs.generators import classic, planar, sparse, surfaces
+from repro.graphs.generators import classic, planar, sparse, streaming, surfaces
 
-__all__ = ["classic", "planar", "sparse", "surfaces"]
+__all__ = ["classic", "planar", "sparse", "streaming", "surfaces"]

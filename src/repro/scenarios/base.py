@@ -262,6 +262,42 @@ def run_scenario(
     if repeat < 1:
         raise ScenarioError(f"repeat must be >= 1, got {repeat}")
     params = scenario.params_for(smoke=smoke, overrides=overrides)
+    try:
+        return _run_resolved(
+            scenario,
+            params,
+            smoke=smoke,
+            seed=seed,
+            workers=workers,
+            profile=profile,
+            export=export,
+            out=out,
+            strict=strict,
+            repeat=repeat,
+            verify=verify,
+        )
+    finally:
+        # graphs published for zero-copy fan-out (the scale scenario) must
+        # not outlive the run, even when the pool breaks mid-batch
+        from repro.analysis import shared
+
+        shared.release_all()
+
+
+def _run_resolved(
+    scenario: Scenario,
+    params: dict[str, Any],
+    *,
+    smoke: bool,
+    seed: int,
+    workers: int | None,
+    profile: bool,
+    export: bool,
+    out: str | Path | None,
+    strict: bool,
+    repeat: int,
+    verify: bool,
+) -> ScenarioRun:
     tasks = scenario.build_tasks(params, profile)
     if not tasks:
         raise ScenarioError(f"scenario {scenario.name!r} built an empty task list")
@@ -299,6 +335,12 @@ def run_scenario(
     if repeat_rows:
         _merge_repeats(rows, repeat_rows)
     elapsed = time.perf_counter() - start
+    from repro.analysis.runner import _peak_rss_bytes
+
+    parent_peak = _peak_rss_bytes()
+    if parent_peak is not None:
+        # the zero-copy fan-out claim: this stays flat as --workers grows
+        runner.metadata["parent_peak_rss_bytes"] = parent_peak
 
     if scenario.finalize is not None:
         scenario.finalize(runner, params)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.analysis.runner import JSON_SCHEMA_VERSION
+from repro.analysis.runner import JSON_SCHEMA_MINOR, JSON_SCHEMA_VERSION
 from repro.scenarios.base import PROFILE_STAGES
 
 __all__ = ["ArtifactSchemaError", "validate_artifact", "assert_valid_artifact"]
@@ -53,6 +53,25 @@ def validate_artifact(
 
     if not isinstance(artifact.get("generated_at"), (int, float)):
         problems.append("generated_at is not a number")
+
+    # minor-version fields are optional (old artifacts predate them) but
+    # must be well-formed when present
+    minor = artifact.get("schema_minor")
+    if minor is not None:
+        if not isinstance(minor, int) or minor < 0:
+            problems.append(f"schema_minor {minor!r} is not a non-negative int")
+        elif minor > JSON_SCHEMA_MINOR:
+            problems.append(
+                f"schema_minor {minor} is newer than supported {JSON_SCHEMA_MINOR}"
+            )
+    iso = artifact.get("generated_at_iso")
+    if iso is not None:
+        import datetime
+
+        try:
+            datetime.datetime.fromisoformat(str(iso))
+        except ValueError:
+            problems.append(f"generated_at_iso {iso!r} is not ISO-8601")
 
     metadata = artifact.get("metadata")
     if not isinstance(metadata, dict):

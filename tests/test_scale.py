@@ -1,0 +1,382 @@
+"""Million-node scale infrastructure: npz form, streaming generators, fan-out.
+
+Everything here runs at toy sizes — the point is *parity*, not scale:
+``from_edge_array`` must agree with the dict-of-sets path, a memory-mapped
+``load_npz`` graph must be bit-identical to the in-memory one that wrote
+it, the vectorized CSR digest must equal the scalar digest, and a graph
+attached from shared memory in a real pool worker must hash to the digest
+the parent published.  The n = 10^6 runs themselves live in the ``scale``
+scenario (``BENCH_scale.json``); these tests are why its numbers can be
+trusted.
+"""
+
+import os
+import tempfile
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ExperimentRunner, shared
+from repro.corpus import InstanceCorpus, InstanceSpec, graph_digest
+from repro.errors import GraphError
+from repro.graphs.frozen import HAS_NUMPY, FrozenGraph, freeze
+from repro.graphs.generators import streaming
+from repro.graphs.graph import Graph
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="requires numpy backend")
+
+# one small spec per streaming family: (builder kwargs are positional-ready)
+_FAMILY_SPECS = [
+    ("stream-degenerate", {"n": 60, "degeneracy": 3, "seed": 7}),
+    ("stream-forest", {"n": 50, "arboricity": 2, "seed": 3}),
+    ("stream-k-tree", {"n": 40, "k": 3, "seed": 5}),
+    ("stream-power-law", {"n": 45, "m": 2, "seed": 9}),
+    ("stream-torus", {"rows": 5, "cols": 6, "shuffle_seed": 1}),
+]
+
+
+def _build(family: str, **kwargs) -> FrozenGraph:
+    return streaming.STREAMING_BUILDERS[family](**kwargs)
+
+
+def _thaw(graph: FrozenGraph) -> Graph:
+    """Rebuild the same labelled graph on the dict-of-sets substrate."""
+    g = Graph(vertices=graph.vertices())
+    for u, v in graph.edges():
+        g.add_edge(u, v)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# from_edge_array parity with the Graph path
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+def test_from_edge_array_matches_graph_path():
+    import numpy as np
+
+    # duplicates, self-loop and both orientations must all collapse away
+    edges = np.array(
+        [[0, 1], [1, 0], [1, 2], [2, 3], [3, 3], [0, 1], [4, 2]], dtype=np.int64
+    )
+    via_array = FrozenGraph.from_edge_array(5, edges, name="t")
+    g = Graph(vertices=range(5))
+    for u, v in [(0, 1), (1, 2), (2, 3), (4, 2)]:
+        g.add_edge(u, v)
+    via_graph = freeze(g)
+    assert via_array.number_of_edges() == 4
+    assert graph_digest(via_array) == graph_digest(via_graph)
+    assert via_array.degeneracy() == via_graph.degeneracy()
+    assert {frozenset(e) for e in via_array.edges()} == {
+        frozenset(e) for e in via_graph.edges()
+    }
+
+
+@needs_numpy
+@pytest.mark.parametrize("family,kwargs", _FAMILY_SPECS)
+def test_streaming_builders_produce_identity_frozen_graphs(family, kwargs):
+    graph = _build(family, **kwargs)
+    assert isinstance(graph, FrozenGraph)
+    assert graph.identity_labels
+    assert list(graph.vertices()) == list(range(len(graph)))
+    # every certified structural bound in metadata must actually hold
+    bound = graph.metadata.get("degeneracy_upper_bound")
+    if bound is not None:
+        assert graph.degeneracy() <= bound
+
+
+# ---------------------------------------------------------------------------
+# npz round trip + memmap parity (hypothesis over the generator matrix)
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+@settings(max_examples=15, deadline=None)
+@given(
+    index=st.integers(0, len(_FAMILY_SPECS) - 1),
+    seed=st.integers(0, 10_000),
+)
+def test_npz_roundtrip_and_memmap_parity(index, seed):
+    family, kwargs = _FAMILY_SPECS[index]
+    kwargs = dict(kwargs)
+    if "seed" in kwargs:
+        kwargs["seed"] = seed
+    else:  # stream-torus: vary the shuffle instead
+        kwargs["shuffle_seed"] = seed
+    graph = _build(family, **kwargs)
+
+    fd, raw = tempfile.mkstemp(suffix=".npz")
+    os.close(fd)
+    path = Path(raw)
+    try:
+        graph.save_npz(path)
+        mapped = FrozenGraph.load_npz(path, mmap=True)
+        loaded = FrozenGraph.load_npz(path, mmap=False)
+        for clone in (mapped, loaded):
+            assert len(clone) == len(graph)
+            assert clone.number_of_edges() == graph.number_of_edges()
+            assert clone.identity_labels
+            assert graph_digest(clone) == graph_digest(graph)
+            assert clone.degeneracy() == graph.degeneracy()
+            assert clone.name == graph.name
+            assert sorted(clone.neighbors(0)) == sorted(graph.neighbors(0))
+    finally:
+        path.unlink(missing_ok=True)
+
+
+# ---------------------------------------------------------------------------
+# digest: vectorized fast path == scalar slow path, stable across save/load
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+@pytest.mark.parametrize("family,kwargs", _FAMILY_SPECS)
+def test_digest_fast_path_matches_slow_path(family, kwargs):
+    graph = _build(family, **kwargs)
+    # identity-labelled frozen graphs take the vectorized CSR path; the
+    # rebuilt dict-of-sets graph takes the scalar repr path — same stream
+    assert graph_digest(graph) == graph_digest(_thaw(graph))
+
+
+@needs_numpy
+def test_digest_fast_path_edge_cases():
+    import numpy as np
+
+    empty = FrozenGraph.from_edge_array(0, np.empty((0, 2), dtype=np.int64))
+    lonely = FrozenGraph.from_edge_array(1, np.empty((0, 2), dtype=np.int64))
+    # the decimal-key packing must survive the "1" < "10" lexicographic
+    # corner: vertex 1 sorts before 10 even though 10 > 9
+    wide = FrozenGraph.from_edge_array(
+        12, np.array([[1, 10], [9, 10], [0, 11]], dtype=np.int64)
+    )
+    for g in (empty, lonely, wide):
+        assert graph_digest(g) == graph_digest(_thaw(g))
+
+
+@needs_numpy
+def test_digest_stable_across_save_load(tmp_path):
+    graph = streaming.stream_degenerate_graph(500, 3, seed=11)
+    # golden pin: the content address the corpus npz cache files carry in
+    # their names — changing the generator or the digest changes this
+    assert graph_digest(graph) == "20fa6613ade5f408"
+    path = tmp_path / "g.npz"
+    graph.save_npz(path)
+    assert graph_digest(FrozenGraph.load_npz(path)) == "20fa6613ade5f408"
+
+
+# ---------------------------------------------------------------------------
+# shared-memory publish / attach
+# ---------------------------------------------------------------------------
+
+def _worker_attach(handle):
+    """Pool worker: attach through the shared transport and fingerprint it.
+
+    Fork-started workers inherit the parent's in-process registries, which
+    would satisfy ``attach`` without touching shared memory — forget them
+    first so this exercises what a spawn-fresh worker would do.
+    """
+    shared._LOCAL.pop(handle.digest, None)
+    publication = shared._PUBLISHED.pop(handle.digest, None)
+    if publication is not None and publication.block is not None:
+        publication.block.close()
+    graph = shared.attach(handle)
+    try:
+        return {
+            "n": len(graph),
+            "m": graph.number_of_edges(),
+            "degeneracy": graph.degeneracy(),
+            "digest": graph_digest(graph),
+            "identity": graph.identity_labels,
+        }
+    finally:
+        del graph
+        shared.detach_all()
+
+
+@needs_numpy
+def test_publish_is_idempotent_and_local_attach_is_zero_copy():
+    graph = streaming.stream_degenerate_graph(200, 3, seed=2)
+    handle = shared.publish(graph)
+    try:
+        assert handle.kind in {"shm", "local"}
+        assert handle.n == len(graph)
+        assert handle.num_slots == graph.number_of_edges() * 2
+        assert shared.publish(graph, digest=handle.digest) is handle
+        # same-process attach resolves through the local registry: the
+        # very object, no copy at all
+        assert shared.attach(handle) is graph
+        assert handle.digest in shared.published_digests()
+    finally:
+        shared.release(handle.digest)
+    assert handle.digest not in shared.published_digests()
+
+
+@needs_numpy
+def test_shared_memory_attach_in_real_process_pool():
+    graph = streaming.stream_k_tree(150, 3, seed=4)
+    handle = shared.publish(graph)
+    if handle.kind != "shm":
+        pytest.skip("shared memory unavailable in this sandbox")
+    try:
+        try:
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                results = [
+                    pool.submit(_worker_attach, handle).result(timeout=60)
+                    for _ in range(2)
+                ]
+        except (OSError, BrokenExecutor, ImportError):
+            pytest.skip("sandbox cannot fork a process pool")
+        for result in results:
+            assert result["n"] == len(graph)
+            assert result["m"] == graph.number_of_edges()
+            assert result["degeneracy"] == graph.degeneracy()
+            assert result["digest"] == handle.digest == graph_digest(graph)
+            assert result["identity"]
+    finally:
+        shared.release(handle.digest)
+
+
+@needs_numpy
+def test_npz_handle_attach_validates_digest(tmp_path):
+    graph = streaming.stream_forest_union(80, 2, seed=6)
+    path = tmp_path / "g.npz"
+    graph.save_npz(path)
+    digest = graph_digest(graph)
+    good = shared.SharedGraphHandle(
+        kind="npz", digest=digest, n=len(graph),
+        num_slots=graph.number_of_edges() * 2, location=str(path),
+    )
+    try:
+        clone = shared.attach(good)
+        assert graph_digest(clone) == digest
+        bad = shared.SharedGraphHandle(
+            kind="npz", digest="0" * 16, n=len(graph),
+            num_slots=graph.number_of_edges() * 2, location=str(path),
+        )
+        with pytest.raises(GraphError, match="digest"):
+            shared.attach(bad)
+    finally:
+        shared.detach_all()
+
+
+# ---------------------------------------------------------------------------
+# corpus npz cache: content addressing, LRU cap, prune
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+def test_corpus_caches_streaming_instances_as_npz(tmp_path):
+    spec = InstanceSpec.of("stream-degenerate", n=120, degeneracy=3, seed=1)
+    corpus = InstanceCorpus(cache_dir=tmp_path)
+    graph = corpus.frozen(spec)
+    path = corpus.npz_path(spec)
+    assert path is not None and path.suffix == ".npz"
+    assert path.stem.rsplit("-", 1)[-1] == graph_digest(graph)
+    # a fresh corpus instance warm-loads the memory-mapped cached file
+    warm = InstanceCorpus(cache_dir=tmp_path).frozen(spec)
+    assert graph_digest(warm) == graph_digest(graph)
+    # corruption is detected by the content address and regenerated
+    path.write_bytes(b"not an npz")
+    regenerated = InstanceCorpus(cache_dir=tmp_path).frozen(spec)
+    assert graph_digest(regenerated) == graph_digest(graph)
+
+
+@needs_numpy
+def test_corpus_cache_cap_evicts_least_recently_used(tmp_path):
+    specs = [
+        InstanceSpec.of("stream-degenerate", n=100, degeneracy=2, seed=s)
+        for s in range(3)
+    ]
+    corpus = InstanceCorpus(cache_dir=tmp_path)
+    paths = []
+    for stamp, spec in enumerate(specs):
+        corpus.frozen(spec)
+        path = corpus.npz_path(spec)
+        os.utime(path, (stamp, stamp))  # deterministic LRU order
+        paths.append(path)
+    total = corpus.cache_size_bytes()
+    assert total == sum(p.stat().st_size for p in paths)
+
+    # cap just below the total: exactly the oldest entry must go
+    capped = InstanceCorpus(
+        cache_dir=tmp_path, max_bytes=total - 1
+    )
+    evicted = capped.prune()
+    assert evicted == [paths[0]]
+    assert not paths[0].exists() and paths[1].exists() and paths[2].exists()
+    # prune without any cap is a no-op
+    assert InstanceCorpus(cache_dir=tmp_path).prune() == []
+    # an explicit limit of 0 clears the cache
+    assert InstanceCorpus(cache_dir=tmp_path).prune(max_bytes=0) != []
+    assert InstanceCorpus(cache_dir=tmp_path).cache_files() == []
+
+
+def test_corpus_cap_reads_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CORPUS_MAX_BYTES", "12345")
+    assert InstanceCorpus(cache_dir=tmp_path).max_bytes == 12345
+    monkeypatch.setenv("REPRO_CORPUS_MAX_BYTES", "not-a-number")
+    assert InstanceCorpus(cache_dir=tmp_path).max_bytes is None
+
+
+# ---------------------------------------------------------------------------
+# artifact satellites: peak RSS on rows, ISO timestamp + schema minor
+# ---------------------------------------------------------------------------
+
+def test_rows_carry_peak_rss_and_artifact_carries_iso_timestamp():
+    import datetime
+
+    runner = ExperimentRunner("rss-probe")
+    row = runner.run("g", "a", lambda: {"value": 1})
+    peak = row.metrics.get("peak_rss_bytes")
+    if peak is not None:  # resource module present (POSIX)
+        assert isinstance(peak, int) and peak > 0
+    payload = runner.to_json_dict()
+    assert payload["schema_minor"] >= 1
+    stamp = datetime.datetime.fromisoformat(payload["generated_at_iso"])
+    assert stamp.tzinfo is not None
+
+
+@needs_numpy
+def test_scale_scenario_rows_are_digest_checked(tmp_path):
+    from repro.scenarios import run_scenario
+
+    run = run_scenario(
+        "scale", smoke=True, workers=1, out=tmp_path,
+        overrides={"sizes": (400,), "roundtrip_max_n": 400},
+    )
+    assert run.ok and run.failures == []
+    by_algorithm = {row.algorithm: row for row in run.runner.rows}
+    peel = by_algorithm["degeneracy peel [shared]"]
+    assert peel.metrics["digest_ok"] and peel.metrics["valid"]
+    assert peel.metrics["transport"] in {"shm", "npz", "local"}
+    coloring = by_algorithm["batched greedy Delta+1 [shared]"]
+    assert coloring.metrics["valid"]
+    assert coloring.metrics["colors"] <= coloring.metrics["budget"]
+    assert run.runner.metadata.get("parent_peak_rss_bytes", 1) > 0
+    # the scenario must leave nothing published behind
+    assert shared.published_digests() == []
+
+
+# ---------------------------------------------------------------------------
+# identity-label index
+# ---------------------------------------------------------------------------
+
+@needs_numpy
+def test_identity_index_behaves_like_a_dict():
+    graph = streaming.stream_degenerate_graph(30, 2, seed=1)
+    index = graph._index
+    assert len(index) == 30
+    assert index[7] == 7 and index.get(7) == 7
+    assert index[7.0] == 7  # hashes like the int, resolves like the int
+    assert 29 in index and 30 not in index and -1 not in index
+    assert "x" not in index and index.get("x", "d") == "d"
+    with pytest.raises(KeyError):
+        index[30]
+    assert list(index) == list(range(30))
+
+
+def test_non_identity_labels_fall_back_to_real_dict():
+    g = Graph(vertices=["a", "b"])
+    g.add_edge("a", "b")
+    frozen = freeze(g)
+    assert not frozen.identity_labels

@@ -3,19 +3,24 @@
 
 Rows are matched by ``(instance, algorithm)``; for every matched row the
 old and new wall times are printed with the delta and the old/new speedup
-factor (> 1 means the new artifact is faster).  The summary reports the
-median and total speedup plus any rows present on only one side.  Both
+factor (> 1 means the new artifact is faster).  Rows carrying a
+``peak_rss_bytes`` metric on both sides additionally get a memory column,
+and the summary reports the peak-RSS delta next to the time totals.  Both
 artifacts are schema-validated (``repro.scenarios.schema``) before
 diffing.
 
 Usage::
 
-    python tools/bench_diff.py OLD.json NEW.json [--max-regression PCT]
+    python tools/bench_diff.py OLD.json NEW.json [--max-regression PCT] \\
+        [--max-rss-regression PCT]
 
 ``--max-regression 20`` exits non-zero if any matched row got more than
-20% slower — the knob CI or a perf PR can use as a gate.  Wall times are
-noisy; pair this with ``python -m repro run <scenario> --repeat 3``,
-which records median-of-K times, before trusting small deltas.
+20% slower; ``--max-rss-regression`` gates peak RSS the same way — the
+knobs CI or a perf PR can use as gates.  Wall times are noisy; pair this
+with ``python -m repro run <scenario> --repeat 3``, which records
+median-of-K times, before trusting small deltas.  Peak RSS is a process
+high-water mark: within one artifact later rows can only grow, so compare
+like rows across artifacts, not rows within one.
 """
 
 from __future__ import annotations
@@ -48,6 +53,16 @@ def rows_by_key(artifact: dict) -> dict[tuple[str, str], dict]:
     }
 
 
+def peak_rss(row: dict) -> int | None:
+    metrics = row.get("metrics")
+    value = metrics.get("peak_rss_bytes") if isinstance(metrics, dict) else None
+    return value if isinstance(value, int) and not isinstance(value, bool) else None
+
+
+def fmt_mib(value: int | None) -> str:
+    return f"{value / 2**20:.0f}M" if value is not None else "-"
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Diff two BENCH_*.json artifacts (seconds per row, speedups)."
@@ -57,6 +72,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-regression", type=float, default=None, metavar="PCT",
         help="fail if any matched row is more than PCT%% slower",
+    )
+    parser.add_argument(
+        "--max-rss-regression", type=float, default=None, metavar="PCT",
+        help="fail if any matched row's peak_rss_bytes grew more than PCT%%",
     )
     args = parser.parse_args(argv)
 
@@ -79,19 +98,23 @@ def main(argv: list[str] | None = None) -> int:
           f"{len(matched)} matched row(s)")
     width = max((len(f"{i} / {a}") for i, a in matched), default=10)
     print(f"\n{'row'.ljust(width)}  {'old s':>9}  {'new s':>9}  "
-          f"{'delta s':>9}  speedup")
+          f"{'delta s':>9}  speedup  {'old rss':>8}  {'new rss':>8}")
     speedups: list[float] = []
     regressions: list[str] = []
+    rss_pairs: list[tuple[int, int]] = []
     for key in matched:
         old_s = float(old_rows[key]["seconds"])
         new_s = float(new_rows[key]["seconds"])
+        old_rss = peak_rss(old_rows[key])
+        new_rss = peak_rss(new_rows[key])
         if old_s == new_s == 0:
             continue  # synthetic rows (derived speedups etc.) carry no timing
         speedup = old_s / new_s if new_s > 0 else float("inf")
         speedups.append(speedup)
         name = f"{key[0]} / {key[1]}"
         print(f"{name.ljust(width)}  {old_s:>9.4f}  {new_s:>9.4f}  "
-              f"{new_s - old_s:>+9.4f}  {speedup:>6.2f}x")
+              f"{new_s - old_s:>+9.4f}  {speedup:>6.2f}x  "
+              f"{fmt_mib(old_rss):>8}  {fmt_mib(new_rss):>8}")
         if (
             args.max_regression is not None
             and old_s > 0
@@ -101,6 +124,17 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name}: {old_s:.4f}s -> {new_s:.4f}s "
                 f"(+{(new_s - old_s) / old_s * 100:.1f}%)"
             )
+        if old_rss is not None and new_rss is not None:
+            rss_pairs.append((old_rss, new_rss))
+            if (
+                args.max_rss_regression is not None
+                and old_rss > 0
+                and (new_rss - old_rss) / old_rss * 100 > args.max_rss_regression
+            ):
+                regressions.append(
+                    f"{name}: peak RSS {fmt_mib(old_rss)} -> {fmt_mib(new_rss)} "
+                    f"(+{(new_rss - old_rss) / old_rss * 100:.1f}%)"
+                )
 
     if speedups:
         total_old = sum(float(old_rows[k]["seconds"]) for k in matched)
@@ -108,14 +142,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"\nmedian speedup: {statistics.median(speedups):.2f}x   "
               f"total: {total_old:.3f}s -> {total_new:.3f}s "
               f"({total_old / total_new if total_new > 0 else float('inf'):.2f}x)")
+    if rss_pairs:
+        old_peak = max(o for o, _ in rss_pairs)
+        new_peak = max(n for _, n in rss_pairs)
+        print(f"peak RSS over matched rows: {fmt_mib(old_peak)} -> "
+              f"{fmt_mib(new_peak)} "
+              f"({(new_peak - old_peak) / old_peak * 100:+.1f}%)"
+              if old_peak > 0 else
+              f"peak RSS over matched rows: {fmt_mib(old_peak)} -> {fmt_mib(new_peak)}")
     for key in only_old:
         print(f"only in {args.old.name}: {key[0]} / {key[1]}")
     for key in only_new:
         print(f"only in {args.new.name}: {key[0]} / {key[1]}")
 
     if regressions:
-        print(f"\n{len(regressions)} row(s) regressed beyond "
-              f"{args.max_regression:.0f}%:", file=sys.stderr)
+        print(f"\n{len(regressions)} row(s) regressed beyond the gate:",
+              file=sys.stderr)
         for regression in regressions:
             print(f"  {regression}", file=sys.stderr)
         return 1
