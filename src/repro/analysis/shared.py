@@ -45,6 +45,7 @@ if HAS_NUMPY:
 __all__ = [
     "SharedGraphHandle",
     "publish",
+    "local_handle",
     "attach",
     "release",
     "release_all",
@@ -177,6 +178,41 @@ def publish(
         else:
             handle = SharedGraphHandle(kind="local", **common)
     _PUBLISHED[digest] = _Publication(handle, block)
+    return handle
+
+
+def local_handle(graph: FrozenGraph, *, digest: str | None = None) -> SharedGraphHandle:
+    """A same-process handle for ``graph`` — no shared block is created.
+
+    The zero-copy handoff for executors that stay in the parent process
+    (thread pools, inline retries, the coloring service at
+    ``--workers 1``): :func:`attach` resolves the handle through the
+    local registry to the *original object*, so handing work to an
+    executor costs a few dozen bytes regardless of graph size.  Release
+    with :func:`release` like any publication.
+    """
+    if digest is None:
+        from repro.corpus import graph_digest
+
+        digest = graph_digest(graph)
+    existing = _PUBLISHED.get(digest)
+    if existing is not None:
+        _LOCAL.setdefault(digest, graph)
+        return existing.handle
+    _LOCAL[digest] = graph
+    try:
+        num_slots = len(graph.csr_arrays()[1])
+    except (GraphError, TypeError):
+        num_slots = 2 * graph.number_of_edges()
+    handle = SharedGraphHandle(
+        kind="local",
+        digest=digest,
+        n=len(graph),
+        num_slots=num_slots,
+        graph_name=graph.name,
+        metadata_json=_encode_metadata(graph.metadata),
+    )
+    _PUBLISHED[digest] = _Publication(handle, None)
     return handle
 
 

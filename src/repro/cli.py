@@ -14,7 +14,10 @@ Five subcommands drive the scenario registry
   BENCH artifacts, or — with ``--smoke`` — against a freshly run smoke
   campaign.  This is the CI gate documented in ``docs/verification.md``;
 * ``corpus`` — inspect the on-disk instance cache (``REPRO_CORPUS_DIR``)
-  and prune it back under its size cap with ``--prune``.
+  and prune it back under its size cap with ``--prune``;
+* ``serve`` — run the always-on coloring service (JSONL over TCP,
+  digest-keyed cache, request batching, oracle-verified responses; see
+  ``docs/serving.md``).
 
 Examples::
 
@@ -22,10 +25,12 @@ Examples::
     python -m repro run theorem13-colors --smoke --verify
     python -m repro run theorem13-rounds --n 60,120,240 --seed 7 --profile
     python -m repro run scale --set sizes=1000000,
+    python -m repro run serve --smoke --verify
     python -m repro campaign --smoke --out artifacts/
     python -m repro verify BENCH_coloring.json
     python -m repro verify --smoke --out ci-artifacts/
     python -m repro corpus --prune --max-bytes 2000000000
+    python -m repro serve --port 4777 --workers 4
 """
 
 from __future__ import annotations
@@ -166,6 +171,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_corpus.add_argument("--max-bytes", type=int, default=None,
                           help="size cap for --prune "
                                "(default: $REPRO_CORPUS_MAX_BYTES; 0 empties)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the always-on coloring service (see docs/serving.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=4777,
+                         help="TCP port (0 = ephemeral; the bound port is printed)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="process-pool size for batched compute "
+                              "(1 = in-process; default 1)")
+    p_serve.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                         help="result-cache byte cap (0 disables caching)")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="micro-batch coalescing window in milliseconds")
+    p_serve.add_argument("--max-upload-edges", type=int, default=2_000_000,
+                         help="reject uploads with more edges than this")
+    p_serve.add_argument("--fault-injection", action="store_true",
+                         help="admit the 'crash' algorithm (test harnesses only)")
     return parser
 
 
@@ -378,6 +402,35 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ColoringService, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_max_bytes=args.cache_bytes,
+        batch_window_ms=args.batch_window_ms,
+        max_upload_edges=args.max_upload_edges,
+        fault_injection=args.fault_injection,
+    )
+
+    async def _serve() -> None:
+        service = ColoringService(config)
+        host, port = await service.start()
+        # the e2e harness parses this line to find an ephemeral port
+        print(f"repro-serve listening on {host}:{port}", flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -389,6 +442,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_verify(args)
         if args.command == "corpus":
             return _cmd_corpus(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         return _cmd_campaign(args)
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)

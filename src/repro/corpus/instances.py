@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import itertools
 import json
 import os
 from collections.abc import Callable, Mapping
@@ -395,6 +396,23 @@ class InstanceCorpus:
             return None
         return self.cache_dir / f"{spec.family}-{spec.spec_key}.json"
 
+    def _ensure_cache_dir(self) -> bool:
+        """Create the cache directory if needed; ``False`` degrades to no-disk.
+
+        ``os.makedirs(exist_ok=True)`` is atomic against concurrent creators
+        (two processes warming the same family race benignly); any *other*
+        OSError — permissions, a file squatting on the path, a read-only
+        filesystem — turns the disk layer off for this store instead of
+        failing the generation that triggered it.
+        """
+        if self.cache_dir is None:
+            return False
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            return True
+        except OSError:
+            return False
+
     def _load(self, spec: InstanceSpec) -> Graph | None:
         path = self._path(spec)
         if path is None or not path.exists():
@@ -411,13 +429,16 @@ class InstanceCorpus:
 
     def _store(self, spec: InstanceSpec, graph: Graph) -> None:
         path = self._path(spec)
-        if path is None:
+        if path is None or not self._ensure_cache_dir():
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(_encode_graph(spec, graph), sort_keys=True) + "\n"
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(payload)
-        os.replace(tmp, path)  # atomic: parallel workers race benignly
+        tmp = _tmp_name(path)
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, path)  # atomic: parallel workers race benignly
+        except OSError:
+            _discard(tmp)  # cache is best-effort; the graph is already built
+            return
         self._enforce_cap()
 
     # ------------------------------------------------------------------
@@ -455,15 +476,17 @@ class InstanceCorpus:
             or not (HAS_NUMPY and graph._use_numpy)
         ):
             return
+        if not self._ensure_cache_dir():
+            return
         digest = graph_digest(graph)
-        self.cache_dir.mkdir(parents=True, exist_ok=True)
         path = self.cache_dir / f"{spec.family}-{spec.spec_key}-{digest}.npz"
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = _tmp_name(path)
         try:
             graph.save_npz(tmp)
+            os.replace(tmp, path)
         except (OSError, GraphError):
+            _discard(tmp)
             return
-        os.replace(tmp, path)
         self._enforce_cap()
 
     # ------------------------------------------------------------------
@@ -528,6 +551,26 @@ def _touch(path: Path) -> None:
     """Best-effort LRU bookkeeping: a cache hit refreshes the file's mtime."""
     try:
         os.utime(path, None)
+    except OSError:
+        pass
+
+
+_TMP_SERIAL = itertools.count()
+
+
+def _tmp_name(path: Path) -> Path:
+    """A collision-free temp sibling for the atomic-replace dance.
+
+    The pid alone is not unique enough: the serving layer warms instances
+    from executor threads, so one process can run two stores of the same
+    spec concurrently — a per-process serial disambiguates them.
+    """
+    return path.with_suffix(f".tmp.{os.getpid()}.{next(_TMP_SERIAL)}")
+
+
+def _discard(path: Path) -> None:
+    try:
+        path.unlink()
     except OSError:
         pass
 

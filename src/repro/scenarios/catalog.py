@@ -987,6 +987,104 @@ register(Scenario(
 
 
 # ---------------------------------------------------------------------------
+# E17 — serve (coloring-as-a-service under synthetic load)
+# ---------------------------------------------------------------------------
+
+def _build_serve(params: Params, profile: bool) -> list[BatchTask]:
+    """One row per workload; each task boots its own in-process service.
+
+    The rows run serially in the parent (``serial_only``): the latency
+    percentiles are the measurement, so they must not compete with sibling
+    tasks for cores — and each task spins up its own event loop anyway.
+    """
+    built = []
+    for workload in params["workloads"]:
+        built.append(BatchTask(
+            f"{workload} clients={params['clients']} requests={params['requests']}",
+            "serve [inline]",
+            tasks.serve_load,
+            args=(
+                workload, params["clients"], params["requests"],
+                params["huge_n"], params["cache_max_bytes"],
+                params["batch_window_ms"],
+            ),
+            kwargs={"profile": profile},
+            seed_group=workload,
+        ))
+    return built
+
+
+def _check_serve(runner: ExperimentRunner, params: Params) -> list[str]:
+    failures = []
+    for row in runner.rows:
+        m = row.metrics
+        if m.get("errors"):
+            failures.append(
+                f"{row.instance}: {m['errors']} request error(s), e.g. "
+                f"{m.get('error_examples')!r}"
+            )
+        if not m.get("valid"):
+            failures.append(
+                f"{row.instance}: {m.get('invalid', '?')} response(s) failed "
+                "the proper-coloring/palette-budget oracles"
+            )
+        if not m.get("digest_consistent"):
+            failures.append(
+                f"{row.instance}: {m.get('digest_mismatches')} coloring_digest "
+                "mismatch(es) across cache hit/miss paths"
+            )
+        if m.get("requests", 0) > 2 * len(_SMALL_SERVE_KEYS) and (
+            m.get("cache_hit_rate", 0.0) <= 0.0
+        ):
+            failures.append(f"{row.instance}: cache hit rate is zero under a hot workload")
+    return failures
+
+
+#: distinct (instance, algorithm) keys the small-query stream can emit —
+#: above ~2x this many requests a hot workload must see cache hits
+_SMALL_SERVE_KEYS = [
+    (name, algo)
+    for name in range(5)
+    for algo in ("greedy", "delta-plus-one", "theorem13")
+]
+
+
+register(Scenario(
+    name="serve",
+    title="Coloring-as-a-service — latency/throughput under mixed load",
+    paper_ref="ROADMAP north star (serving infrastructure)",
+    description=(
+        "The asyncio coloring service under synthetic traffic: N concurrent "
+        "clients replay mixed workloads (many small planar/sparse queries "
+        "with hot-key skew, a few huge streaming-sparse requests through "
+        "the upload path, and a cold/warm replay pass) against an "
+        "in-process server with the digest-keyed result cache and the "
+        "micro-batching layer enabled.  Rows record p50/p95/p99 latency, "
+        "throughput, cache hit rate and coalescing counts; every response "
+        "is oracle-verified server-side and the check gate requires zero "
+        "errors, zero invalid colorings and digest-consistent repeats."
+    ),
+    build_tasks=_build_serve,
+    defaults={
+        "workloads": ("small-hot", "mixed", "replay"),
+        "clients": 8,
+        "requests": 240,
+        "huge_n": 50_000,
+        "cache_max_bytes": 64 * 1024 * 1024,
+        "batch_window_ms": 2.0,
+    },
+    smoke_overrides={"clients": 4, "requests": 48, "huge_n": 2_000},
+    reference={
+        "legality": "every served coloring passes the PR-5 oracles",
+        "consistency": "hit and miss paths return bit-identical coloring_digests",
+        "cache": "hot workloads achieve a nonzero cache hit rate",
+    },
+    serial_only=True,
+    check=_check_serve,
+))
+
+
+# ---------------------------------------------------------------------------
 # Campaigns: named scenario sets for `python -m repro campaign`
 # ---------------------------------------------------------------------------
 

@@ -884,3 +884,38 @@ def scale_npz_roundtrip(handle, profile: bool = False) -> dict[str, Any]:
         "valid": digest_ok and peel_ok,
         **prof.metrics(),
     }
+
+
+def serve_load(
+    workload: str,
+    clients: int,
+    requests: int,
+    huge_n: int,
+    cache_max_bytes: int,
+    batch_window_ms: float,
+    seed: int | None = None,
+    profile: bool = False,
+) -> dict[str, Any]:
+    """One load-generator replay against an in-process coloring service.
+
+    Boots :class:`repro.serve.server.ColoringService` on an ephemeral port
+    inside this task's process, drives ``clients`` concurrent asyncio
+    clients through the named workload, and returns the latency/throughput/
+    cache metrics of :func:`repro.serve.loadgen.run_workload`.  Everything
+    — server, batcher, compute — runs in-process, so the row measures the
+    service stack itself, not fork overhead.
+    """
+    from repro.serve.loadgen import run_workload
+
+    prof = StageProfile(profile)
+    with prof("solve"):
+        metrics = run_workload(
+            workload,
+            clients=clients,
+            requests=requests,
+            huge_n=huge_n,
+            seed=seed,
+            cache_max_bytes=cache_max_bytes,
+            batch_window_ms=batch_window_ms,
+        )
+    return {**metrics, **prof.metrics()}

@@ -1,0 +1,35 @@
+"""Coloring-as-a-service: the always-on asyncio front of the pipeline.
+
+``python -m repro serve`` boots a JSONL-over-TCP service whose requests
+reference corpus instances by content digest (or upload edge lists) and
+whose responses carry colorings *plus* the PR-5 oracle verdicts that
+prove them legal.  The package layers, front to back:
+
+* :mod:`~repro.serve.protocol` — the wire format and structured errors;
+* :mod:`~repro.serve.server` / :mod:`~repro.serve.client` — the asyncio
+  endpoints;
+* :mod:`~repro.serve.cache` — digest-keyed, byte-capped LRU of finished
+  responses;
+* :mod:`~repro.serve.batching` — single-flight coalescing + window
+  batching onto the batch engine;
+* :mod:`~repro.serve.store` / :mod:`~repro.serve.executor` — digest
+  resolution, zero-copy shared-memory handoff, self-verifying compute
+  jobs;
+* :mod:`~repro.serve.loadgen` — the mixed-workload load generator
+  behind the ``serve`` scenario (``BENCH_serve.json``).
+
+See ``docs/serving.md`` for the request/response schema.
+"""
+
+from repro.serve.client import ServeClient, ServeResponseError
+from repro.serve.protocol import PROTOCOL_VERSION, ServeError
+from repro.serve.server import ColoringService, ServeConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ServeError",
+    "ServeClient",
+    "ServeResponseError",
+    "ColoringService",
+    "ServeConfig",
+]

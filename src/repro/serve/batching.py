@@ -1,0 +1,127 @@
+"""Micro-batching: coalesce concurrent requests onto the batch engine.
+
+Two cooperating mechanisms, both keyed by the result-cache key
+(digest + algorithm + canonical params):
+
+* **single-flight coalescing** — concurrent requests for the *same* key
+  share one future and therefore one computation.  This is what makes
+  the cache-consistency property trivially true under interleaving:
+  identical requests racing a miss all receive the same payload object,
+  so their ``coloring_digest``\\ s are bit-identical by construction.
+* **window batching** — distinct keys arriving within
+  ``window_seconds`` (or until ``max_batch`` accumulate) are flushed as
+  one list into :func:`repro.serve.executor.execute_jobs`, which fans
+  them across the process pool in a single
+  :meth:`~repro.analysis.runner.ExperimentRunner.run_batch` call instead
+  of per-request round trips.
+
+The batcher lives on the event loop; only the (blocking) execution
+itself is pushed to a thread via ``run_in_executor``, so the loop keeps
+accepting connections while a batch computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.serve.executor import JobSpec, execute_jobs
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Coalescing, windowed dispatcher of compute jobs."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        window_seconds: float = 0.002,
+        max_batch: int = 32,
+        execute: Callable[..., list[dict[str, Any]]] | None = None,
+    ):
+        self.workers = max(1, int(workers))
+        self.window_seconds = max(0.0, float(window_seconds))
+        self.max_batch = max(1, int(max_batch))
+        self._execute = execute if execute is not None else execute_jobs
+        #: in-flight single-flight futures by cache key
+        self._pending: dict[str, asyncio.Future] = {}
+        #: keys queued for the next flush, in arrival order
+        self._queue: list[tuple[str, JobSpec]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        # stats
+        self.batches = 0
+        self.batched_jobs = 0
+        self.coalesced = 0
+        self.max_batch_size = 0
+
+    async def submit(self, key: str, spec: JobSpec) -> dict[str, Any]:
+        """The payload for ``key``, computing at most once per in-flight key.
+
+        Shielded: one client cancelling (disconnecting) must not cancel
+        the computation out from under coalesced peers.
+        """
+        future = self._pending.get(key)
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            self._pending[key] = future
+            self._queue.append((key, spec))
+            if len(self._queue) >= self.max_batch:
+                self._flush()
+            elif self._flush_handle is None:
+                self._flush_handle = asyncio.get_running_loop().call_later(
+                    self.window_seconds, self._flush
+                )
+        else:
+            self.coalesced += 1
+        return await asyncio.shield(future)
+
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._queue:
+            return
+        batch, self._queue = self._queue, []
+        self.batches += 1
+        self.batched_jobs += len(batch)
+        self.max_batch_size = max(self.max_batch_size, len(batch))
+        asyncio.get_running_loop().create_task(self._run(batch))
+
+    async def _run(self, batch: list[tuple[str, JobSpec]]) -> None:
+        loop = asyncio.get_running_loop()
+        specs = [spec for _key, spec in batch]
+        try:
+            payloads = await loop.run_in_executor(
+                None, lambda: self._execute(specs, workers=self.workers)
+            )
+        except Exception as exc:  # noqa: BLE001 - executor must not sink futures
+            for key, _spec in batch:
+                future = self._pending.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            return
+        for (key, _spec), payload in zip(batch, payloads):
+            future = self._pending.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result(payload)
+
+    async def drain(self) -> None:
+        """Flush and wait for every in-flight job (shutdown path)."""
+        self._flush()
+        pending = [f for f in self._pending.values() if not f.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "coalesced": self.coalesced,
+            "max_batch_size": self.max_batch_size,
+            "in_flight": len(self._pending),
+            "window_seconds": self.window_seconds,
+            "max_batch": self.max_batch,
+            "workers": self.workers,
+        }

@@ -1,0 +1,124 @@
+"""A minimal asyncio client for the coloring service.
+
+Speaks the JSONL protocol of :mod:`repro.serve.protocol` over one TCP
+connection.  Requests are serialized per connection with a lock
+(responses come back in request order), so one client instance is safe
+to share between coroutines — the load generator opens one per
+simulated user instead.  :meth:`ServeClient.request` returns the raw
+response dict; :class:`ServeResponseError` is raised for structured
+``ok=false`` responses so callers can switch on the error code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.serve.protocol import decode_line, encode_line
+
+__all__ = ["ServeClient", "ServeResponseError"]
+
+
+class ServeResponseError(Exception):
+    """A structured ``ok=false`` response, code and message attached."""
+
+    def __init__(self, code: str, message: str, response: dict[str, Any]):
+        self.code = code
+        self.response = response
+        super().__init__(f"[{code}] {message}")
+
+
+class ServeClient:
+    """One JSONL connection to a running coloring service."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def connect(self) -> "ServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=64 * 1024 * 1024
+        )
+        return self
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    async def request(self, payload: dict[str, Any], *, check: bool = True) -> dict[str, Any]:
+        """Send one request line, await its response line.
+
+        ``check=True`` (default) raises :class:`ServeResponseError` on
+        ``ok=false``; pass ``check=False`` to inspect error responses
+        directly (the fault-path tests do).
+        """
+        if self._reader is None or self._writer is None:
+            await self.connect()
+        async with self._lock:
+            self._writer.write(encode_line(payload))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_line(line)
+        if check and not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeResponseError(
+                error.get("code", "internal"), error.get("message", ""), response
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # convenience wrappers
+    # ------------------------------------------------------------------
+    async def ping(self) -> dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+    async def instances(self) -> list[dict[str, Any]]:
+        return (await self.request({"op": "instances"}))["instances"]
+
+    async def upload(self, n: int, edges: list, *, name: str = "") -> dict[str, Any]:
+        return await self.request(
+            {"op": "upload", "n": n, "edges": edges, "name": name}
+        )
+
+    async def color(
+        self,
+        graph_digest: str,
+        algorithm: str = "greedy",
+        *,
+        params: dict[str, Any] | None = None,
+        return_coloring: bool = True,
+        check: bool = True,
+    ) -> dict[str, Any]:
+        return await self.request(
+            {
+                "op": "color",
+                "graph_digest": graph_digest,
+                "algorithm": algorithm,
+                "params": params or {},
+                "return_coloring": return_coloring,
+            },
+            check=check,
+        )
+
+    async def stats(self) -> dict[str, Any]:
+        return await self.request({"op": "stats"})
+
+    async def shutdown(self) -> dict[str, Any]:
+        return await self.request({"op": "shutdown"})

@@ -1,0 +1,260 @@
+"""The load generator: replay mixed workloads against a live service.
+
+Drives N concurrent asyncio clients against a :class:`~repro.serve.
+server.ColoringService` (booted in-process on an ephemeral port by
+default, or pointed at an external ``host:port``) and measures what the
+ROADMAP's "millions of users" axis asks for: p50/p95/p99 request
+latency, throughput, cache hit rate — plus the correctness facts the
+oracle gate needs (every response ``valid``, every repeated key
+digest-consistent).
+
+Three workload shapes, all deterministic per seed:
+
+* ``small-hot`` — many small planar/sparse queries over the standard
+  corpus set, hot-key skewed: the cache-friendly regime.
+* ``mixed`` — the same small-query stream with a few huge sparse
+  requests interleaved (one streaming k-degenerate graph of ``huge_n``
+  vertices, uploaded through the real upload path): head-of-line
+  pressure on the batcher.
+* ``replay`` — one cold pass and one identical warm pass: isolates the
+  cache (the warm pass should be nearly all hits).
+
+:func:`run_workload` is the synchronous entry point the ``serve``
+scenario task calls; it returns one metrics mapping per scenario row.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Any
+
+from repro.serve.client import ServeClient, ServeResponseError
+from repro.serve.protocol import params_key
+from repro.serve.server import ColoringService, ServeConfig
+
+__all__ = ["WORKLOADS", "run_workload", "run_load"]
+
+WORKLOADS = ("small-hot", "mixed", "replay")
+
+#: the small-query vocabulary: standard instances with non-trivial edges
+_SMALL_INSTANCES = (
+    "planar-tri-60-s3",
+    "grid-6x10",
+    "bounded-mad-64-k2-s5",
+    "forest-union-80-a2-s1",
+    "path-33",
+)
+#: (algorithm, params) mix for small queries, hot keys first (skewed draw)
+_SMALL_REQUESTS = (
+    ("greedy", {}),
+    ("greedy", {}),
+    ("delta-plus-one", {}),
+    ("theorem13", {}),
+)
+
+
+def _standard_digests(service: ColoringService) -> dict[str, str]:
+    by_name = {row["instance"]: row["graph_digest"] for row in service.store.instances()}
+    return {name: by_name[name] for name in _SMALL_INSTANCES}
+
+
+def _small_request(rng: random.Random, digests: dict[str, str]) -> dict[str, Any]:
+    # skew toward the first instances/algorithms: a hot-key distribution
+    name = _SMALL_INSTANCES[min(rng.randrange(len(_SMALL_INSTANCES)),
+                                rng.randrange(len(_SMALL_INSTANCES)))]
+    algorithm, params = _SMALL_REQUESTS[min(rng.randrange(len(_SMALL_REQUESTS)),
+                                            rng.randrange(len(_SMALL_REQUESTS)))]
+    return {
+        "op": "color",
+        "graph_digest": digests[name],
+        "algorithm": algorithm,
+        "params": params,
+        "return_coloring": False,
+    }
+
+
+def _build_schedules(
+    workload: str,
+    clients: int,
+    requests: int,
+    digests: dict[str, str],
+    huge_digest: str | None,
+    rng: random.Random,
+) -> list[list[dict[str, Any]]]:
+    """Per-client request lists, ``requests`` total across all clients."""
+    schedules: list[list[dict[str, Any]]] = [[] for _ in range(clients)]
+    if workload == "replay":
+        # one shared trace, issued cold by the first half of the clients and
+        # replayed warm by the second half (same keys -> hits/coalescing)
+        trace = [_small_request(rng, digests) for _ in range(max(1, requests // clients))]
+        for index in range(clients):
+            schedules[index] = list(trace)
+        return schedules
+    for index in range(requests):
+        request = _small_request(rng, digests)
+        if workload == "mixed" and huge_digest is not None and index % 16 == 7:
+            request = {
+                "op": "color",
+                "graph_digest": huge_digest,
+                "algorithm": "greedy",
+                "params": {},
+                "return_coloring": False,
+            }
+        schedules[index % clients].append(request)
+    return schedules
+
+
+async def _client_body(
+    host: str,
+    port: int,
+    schedule: list[dict[str, Any]],
+    latencies: list[float],
+    outcomes: dict[str, Any],
+) -> None:
+    async with ServeClient(host, port) as client:
+        for request in schedule:
+            start = time.perf_counter()
+            try:
+                response = await client.request(request)
+            except (ServeResponseError, ConnectionError) as exc:
+                outcomes["errors"] += 1
+                outcomes["error_examples"].append(str(exc)[:200])
+                continue
+            latencies.append(time.perf_counter() - start)
+            if not response.get("valid", False):
+                outcomes["invalid"] += 1
+            if response.get("cached"):
+                outcomes["hits_observed"] += 1
+            key = (
+                f"{response.get('graph_digest')}:{response.get('algorithm')}:"
+                f"{params_key(response.get('params') or {})}"
+            )
+            seen = outcomes["digests"].setdefault(key, response.get("coloring_digest"))
+            if seen != response.get("coloring_digest"):
+                outcomes["digest_mismatches"] += 1
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+async def run_load(
+    *,
+    workload: str,
+    clients: int,
+    requests: int,
+    huge_n: int,
+    seed: int,
+    config: ServeConfig | None = None,
+) -> dict[str, Any]:
+    """Boot an in-process service, replay the workload, return the metrics."""
+    if workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}; known: {WORKLOADS}")
+    service = ColoringService(config or ServeConfig())
+    host, port = await service.start()
+    server_task = asyncio.ensure_future(service.serve_forever())
+    try:
+        rng = random.Random(seed)
+        digests = _standard_digests(service)
+        huge_digest = None
+        if workload == "mixed":
+            # the huge sparse instance travels through the real upload path
+            from repro.graphs.generators.streaming import stream_degenerate_edges
+
+            edges = stream_degenerate_edges(huge_n, 2, seed=seed % (2**31))
+            async with ServeClient(host, port) as uploader:
+                summary = await uploader.upload(
+                    huge_n,
+                    [[int(u), int(v)] for u, v in edges],
+                    name=f"huge-sparse-{huge_n}",
+                )
+            huge_digest = summary["graph_digest"]
+        schedules = _build_schedules(
+            workload, clients, requests, digests, huge_digest, rng
+        )
+        latencies: list[float] = []
+        outcomes: dict[str, Any] = {
+            "errors": 0,
+            "invalid": 0,
+            "hits_observed": 0,
+            "digest_mismatches": 0,
+            "digests": {},
+            "error_examples": [],
+        }
+        wall_start = time.perf_counter()
+        await asyncio.gather(
+            *(
+                _client_body(host, port, schedule, latencies, outcomes)
+                for schedule in schedules
+                if schedule
+            )
+        )
+        wall = time.perf_counter() - wall_start
+        async with ServeClient(host, port) as probe:
+            stats = await probe.stats()
+    finally:
+        await service.shutdown()
+        try:
+            await asyncio.wait_for(server_task, timeout=10)
+        except asyncio.TimeoutError:  # pragma: no cover - shutdown safety net
+            server_task.cancel()
+    latencies.sort()
+    completed = len(latencies)
+    return {
+        "workload": workload,
+        "clients": clients,
+        "requests": completed,
+        "errors": outcomes["errors"],
+        "invalid": outcomes["invalid"],
+        "digest_mismatches": outcomes["digest_mismatches"],
+        "valid": outcomes["invalid"] == 0 and completed > 0,
+        "digest_consistent": outcomes["digest_mismatches"] == 0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p95_ms": _percentile(latencies, 0.95) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "throughput_rps": (completed / wall) if wall > 0 else 0.0,
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "cache_entries": stats["cache"]["entries"],
+        "cache_bytes": stats["cache"]["bytes"],
+        "coalesced": stats["batching"]["coalesced"],
+        "batches": stats["batching"]["batches"],
+        "max_batch_size": stats["batching"]["max_batch_size"],
+        "huge_n": huge_n if workload == "mixed" else 0,
+        "error_examples": outcomes["error_examples"][:3],
+    }
+
+
+def run_workload(
+    workload: str,
+    *,
+    clients: int = 8,
+    requests: int = 240,
+    huge_n: int = 50_000,
+    seed: int | None = None,
+    cache_max_bytes: int = 64 * 1024 * 1024,
+    batch_window_ms: float = 2.0,
+    workers: int = 1,
+) -> dict[str, Any]:
+    """Synchronous wrapper: one workload replay on a fresh event loop."""
+    config = ServeConfig(
+        port=0,
+        workers=workers,
+        cache_max_bytes=cache_max_bytes,
+        batch_window_ms=batch_window_ms,
+        max_upload_edges=max(2_000_000, 4 * huge_n),
+    )
+    return asyncio.run(
+        run_load(
+            workload=workload,
+            clients=clients,
+            requests=requests,
+            huge_n=huge_n,
+            seed=0 if seed is None else seed,
+            config=config,
+        )
+    )

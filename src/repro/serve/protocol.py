@@ -1,0 +1,125 @@
+"""The wire protocol of the coloring service: newline-delimited JSON.
+
+One request per line, one response line per request, over a plain TCP
+stream — no HTTP dependency, so the service runs on the bare standard
+library.  Every request is a JSON object with an ``op`` field and an
+optional client-chosen ``id`` echoed back verbatim; every response is a
+JSON object with ``ok`` plus either the op's payload or a structured
+``error`` (:data:`ERROR_CODES`).  The full request/response schema is
+documented in ``docs/serving.md``.
+
+The module is deliberately transport-free: :func:`encode_line` /
+:func:`decode_line` do the framing, :class:`ServeError` carries the
+structured error codes, and both the server and the client build on the
+same helpers so the two sides cannot drift.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "ServeError",
+    "encode_line",
+    "decode_line",
+    "error_response",
+    "canonical_params",
+    "params_key",
+]
+
+#: bumped when the request/response shape changes incompatibly; responses
+#: carry it so clients can detect a mismatched server
+PROTOCOL_VERSION = 1
+
+#: every structured error code a response may carry
+ERROR_CODES = (
+    "bad-request",      # malformed JSON, missing/ill-typed fields, bad edge lists
+    "unknown-op",       # op not in the dispatch table
+    "unknown-digest",   # graph_digest/instance refers to nothing the server knows
+    "unknown-algorithm",  # algorithm not registered (or fault injection disabled)
+    "too-large",        # upload or request line exceeds the configured caps
+    "clique-found",     # Theorem 1.3 returned the clique side of the dichotomy
+    "compute-failed",   # the job crashed (after the degraded inline retry)
+    "internal",         # unexpected server-side exception (the loop survives)
+)
+
+
+class ServeError(Exception):
+    """A structured, client-visible request failure.
+
+    Raising one of these anywhere in request handling produces an
+    ``ok=false`` response with the given code — never a dead connection
+    and never a dead event loop.
+    """
+
+    def __init__(self, code: str, message: str):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown serve error code {code!r}")
+        self.code = code
+        self.message = message
+        super().__init__(f"[{code}] {message}")
+
+
+def encode_line(payload: dict[str, Any]) -> bytes:
+    """One response/request as a compact JSON line (the frame unit)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one frame; raises :class:`ServeError` on malformed input."""
+    try:
+        payload = json.loads(line.decode("utf-8", errors="strict"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeError("bad-request", f"request is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ServeError(
+            "bad-request", f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def error_response(request_id: Any, code: str, message: str) -> dict[str, Any]:
+    """The structured-failure response shape (``ok`` false, ``error`` object)."""
+    response: dict[str, Any] = {
+        "ok": False,
+        "protocol": PROTOCOL_VERSION,
+        "error": {"code": code, "message": message},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def canonical_params(params: Any) -> dict[str, Any]:
+    """Validate and canonicalize a request's algorithm parameters.
+
+    Parameters must be a flat JSON object of scalars — that keeps the
+    cache key (:func:`params_key`) total and order-independent, so the
+    same request always lands on the same cache entry.
+    """
+    if params is None:
+        return {}
+    if not isinstance(params, dict):
+        raise ServeError(
+            "bad-request", f"params must be an object, got {type(params).__name__}"
+        )
+    out: dict[str, Any] = {}
+    for key in sorted(params):
+        value = params[key]
+        if not isinstance(key, str):
+            raise ServeError("bad-request", f"param name {key!r} is not a string")
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise ServeError(
+                "bad-request",
+                f"param {key!r} must be a JSON scalar, got {type(value).__name__}",
+            )
+        out[key] = value
+    return out
+
+
+def params_key(params: dict[str, Any]) -> str:
+    """Canonical string form of validated params (cache-key component)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,258 @@
+"""The asyncio coloring service: JSONL over TCP, cache in front, batcher behind.
+
+Request path of ``op=color``::
+
+    readline -> decode -> validate -> ResultCache lookup ----------- hit -> respond
+                                         | miss
+                                         v
+                              MicroBatcher.submit(key, JobSpec)
+                          (single-flight; window-flushed into the
+                           batch engine via execute_jobs)
+                                         |
+                                         v
+                        cache.put(key, payload) -> respond
+
+Every failure mode a client can trigger — malformed JSON, unknown ops,
+bad digests, oversized uploads or request lines, even an injected
+worker crash — is converted to a structured error response; the event
+loop and (where framing allows) the connection survive.  See
+``docs/serving.md`` for the full schema and :mod:`repro.serve.client`
+for the matching client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import ResultCache, result_key
+from repro.serve.executor import ALGORITHMS, JobSpec
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ServeError,
+    canonical_params,
+    decode_line,
+    encode_line,
+    error_response,
+)
+from repro.serve.store import GraphStore
+
+__all__ = ["ServeConfig", "ColoringService"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunables of one service instance (CLI flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is printed/exposed
+    workers: int = 1  # >1 fans batches over a process pool
+    cache_max_bytes: int = 64 * 1024 * 1024
+    batch_window_ms: float = 2.0
+    max_batch: int = 32
+    max_request_bytes: int = 32 * 1024 * 1024  # per JSONL frame
+    max_upload_edges: int = 2_000_000
+    preload_standard: bool = True
+    #: admit the "crash" algorithm (tests only — never on by default)
+    fault_injection: bool = False
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class ColoringService:
+    """One running server: a GraphStore, a ResultCache and a MicroBatcher."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.store = GraphStore(
+            use_pool=self.config.workers > 1,
+            max_upload_edges=self.config.max_upload_edges,
+            preload_standard=self.config.preload_standard,
+        )
+        self.cache = ResultCache(max_bytes=self.config.cache_max_bytes)
+        self.batcher = MicroBatcher(
+            workers=self.config.workers,
+            window_seconds=self.config.batch_window_ms / 1000.0,
+            max_batch=self.config.max_batch,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self.requests = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the (host, port) actually bound."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_request_bytes,
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` (or the shutdown op) is called."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._shutdown.wait()
+        await self.batcher.drain()
+        self.store.close()
+
+    async def shutdown(self) -> None:
+        self._shutdown.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # frame longer than max_request_bytes: the stream is no
+                    # longer line-synchronized, so answer once and hang up
+                    self.errors += 1
+                    writer.write(
+                        encode_line(
+                            error_response(
+                                None,
+                                "too-large",
+                                "request line exceeds "
+                                f"{self.config.max_request_bytes} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # client closed
+                if not line.strip():
+                    continue
+                response = await self._handle_request(line)
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-write; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server shutting down while this connection was idle
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_request(self, line: bytes) -> dict[str, Any]:
+        self.requests += 1
+        request_id: Any = None
+        try:
+            request = decode_line(line)
+            request_id = request.get("id")
+            op = request.get("op")
+            if not isinstance(op, str):
+                raise ServeError("bad-request", "request must carry a string 'op'")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise ServeError(
+                    "unknown-op", f"unknown op {op!r}; known: {sorted(self._OPS)}"
+                )
+            payload = await handler(self, request)
+        except ServeError as exc:
+            self.errors += 1
+            return error_response(request_id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - the loop must survive anything
+            self.errors += 1
+            return error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        response: dict[str, Any] = {"ok": True, "protocol": PROTOCOL_VERSION, **payload}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    async def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {"pong": True, "algorithms": sorted(self._admitted_algorithms())}
+
+    async def _op_instances(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {"instances": self.store.instances()}
+
+    async def _op_upload(self, request: dict[str, Any]) -> dict[str, Any]:
+        return self.store.upload(
+            request.get("n"),
+            request.get("edges"),
+            name=request.get("name", ""),
+        )
+
+    def _admitted_algorithms(self) -> list[str]:
+        names = [a for a in ALGORITHMS if a != "crash"]
+        if self.config.fault_injection:
+            names.append("crash")
+        return names
+
+    async def _op_color(self, request: dict[str, Any]) -> dict[str, Any]:
+        algorithm = request.get("algorithm", "greedy")
+        if algorithm not in self._admitted_algorithms():
+            raise ServeError(
+                "unknown-algorithm",
+                f"unknown algorithm {algorithm!r}; known: "
+                f"{sorted(self._admitted_algorithms())}",
+            )
+        digest = request.get("graph_digest")
+        params = canonical_params(request.get("params"))
+        self.store.resolve(digest)  # raises unknown-digest before any queueing
+        key = result_key(digest, algorithm, params)
+        payload = self.cache.get(key)
+        cached = payload is not None
+        if payload is None:
+            spec = JobSpec(self.store.handle(digest), algorithm, params)
+            payload = await self.batcher.submit(key, spec)
+            error = payload.get("error")
+            if error is not None:
+                code = error.get("code", "compute-failed")
+                raise ServeError(
+                    code if code in ("clique-found", "unknown-algorithm", "bad-request")
+                    else "compute-failed",
+                    error.get("message", "compute failed"),
+                )
+            self.cache.put(key, payload)
+        response = dict(payload)
+        if not request.get("return_coloring", True):
+            response.pop("coloring", None)
+        response["cached"] = cached
+        return response
+
+    async def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "cache": self.cache.stats(),
+            "batching": self.batcher.stats(),
+            "graphs": len(self.store.instances()),
+            "workers": self.config.workers,
+        }
+
+    async def _op_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:
+        # respond first, then trip the event: the caller gets confirmation
+        asyncio.get_running_loop().call_soon(self._shutdown.set)
+        return {"stopping": True}
+
+    _OPS = {
+        "ping": _op_ping,
+        "instances": _op_instances,
+        "upload": _op_upload,
+        "color": _op_color,
+        "stats": _op_stats,
+        "shutdown": _op_shutdown,
+    }

@@ -380,3 +380,107 @@ def test_non_identity_labels_fall_back_to_real_dict():
     g.add_edge("a", "b")
     frozen = freeze(g)
     assert not frozen.identity_labels
+
+
+# ---------------------------------------------------------------------------
+# corpus cache-dir creation race (regression: concurrent warm of one family)
+# ---------------------------------------------------------------------------
+
+def _worker_warm_corpus(cache_dir: str) -> str:
+    """Pool worker: warm the same streaming spec into a shared cache dir.
+
+    Every worker races to create ``cache_dir`` (which does not exist when
+    the pool starts) and to store the same npz — the regression scenario
+    behind :meth:`InstanceCorpus._ensure_cache_dir`.
+    """
+    corpus = InstanceCorpus(cache_dir=cache_dir)
+    spec = InstanceSpec.of("stream-degenerate", n=400, degeneracy=2, seed=9)
+    return graph_digest(corpus.frozen(spec))
+
+
+@needs_numpy
+def test_corpus_cache_dir_creation_races_are_benign(tmp_path):
+    # the directory (including a parent) must not exist yet: creation itself
+    # is the contended step
+    cache_dir = tmp_path / "deep" / "corpus-cache"
+    try:
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(_worker_warm_corpus, str(cache_dir)) for _ in range(4)
+            ]
+            digests = [f.result(timeout=120) for f in futures]
+    except (OSError, BrokenExecutor, ImportError):
+        pytest.skip("sandbox cannot fork a process pool")
+    assert len(set(digests)) == 1
+    files = list(cache_dir.glob("stream-degenerate-*.npz"))
+    assert len(files) == 1  # atomic replace: exactly one winner, no .tmp litter
+    assert not list(cache_dir.glob("*.tmp.*"))
+    # the surviving file is loadable and content-correct
+    warm = InstanceCorpus(cache_dir=cache_dir)
+    spec = InstanceSpec.of("stream-degenerate", n=400, degeneracy=2, seed=9)
+    assert graph_digest(warm.frozen(spec)) == digests[0]
+
+
+@needs_numpy
+def test_corpus_same_process_concurrent_stores_use_unique_tmp_names(tmp_path):
+    # one process, many threads (the serving layer's warm pattern): pid-only
+    # tmp names would collide; the per-process serial keeps them distinct
+    from concurrent.futures import ThreadPoolExecutor
+
+    cache_dir = tmp_path / "thread-cache"
+    spec = InstanceSpec.of("stream-forest", n=300, arboricity=2, seed=11)
+
+    def warm() -> str:
+        corpus = InstanceCorpus(cache_dir=cache_dir)  # no shared memo
+        return graph_digest(corpus.frozen(spec))
+
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        digests = [f.result(timeout=120) for f in [pool.submit(warm) for _ in range(6)]]
+    assert len(set(digests)) == 1
+    assert len(list(cache_dir.glob("stream-forest-*.npz"))) == 1
+    assert not list(cache_dir.glob("*.tmp.*"))
+
+
+def test_corpus_degrades_gracefully_when_cache_dir_is_unusable(tmp_path):
+    # a *file* squatting on the cache path: creation fails, generation must not
+    squatter = tmp_path / "not-a-dir"
+    squatter.write_text("occupied")
+    corpus = InstanceCorpus(cache_dir=squatter)
+    spec = InstanceSpec.of("path", n=12)
+    graph = corpus.build(spec)
+    assert graph.number_of_vertices() == 12
+    assert squatter.read_text() == "occupied"  # nothing clobbered it
+
+
+# ---------------------------------------------------------------------------
+# the 10^5 tier (slow: run with `-m slow`)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.slow
+@needs_numpy
+def test_stream_degenerate_100k_peel_and_digest_fast_path():
+    graph = streaming.stream_degenerate_graph(100_000, 3, seed=1)
+    assert len(graph) == 100_000
+    assert graph.degeneracy() <= 3
+    # fast-path digest agrees with itself across an npz round trip at scale
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "g.npz"
+        graph.save_npz(path)
+        mapped = FrozenGraph.load_npz(path, mmap=True)
+        assert graph_digest(mapped) == graph_digest(graph)
+        assert mapped.degeneracy() == graph.degeneracy()
+
+
+@pytest.mark.slow
+@needs_numpy
+def test_shared_fanout_100k_roundtrips_degeneracy():
+    graph = streaming.stream_forest_union(100_000, 2, seed=3)
+    handle = shared.publish(graph)
+    try:
+        attached = shared.attach(handle)
+        assert attached is graph  # local registry: literally zero copies
+        # arboricity a bounds degeneracy by 2a - 1
+        assert attached.degeneracy() <= 3
+        assert handle.num_slots == 2 * graph.number_of_edges()
+    finally:
+        shared.release(handle.digest)
