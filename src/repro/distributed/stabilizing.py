@@ -1,0 +1,363 @@
+"""Self-stabilizing recoloring protocols (min+1 and stabilizing greedy).
+
+Unlike the terminating pipelines, a self-stabilizing protocol never
+halts: every round each node re-examines its neighbourhood and repairs
+its color register if it is in an *illegitimate* state, whatever
+transient faults (corrupted colors, reboots, topology churn, lost or
+duplicated messages) put it there.  Convergence is to a *silent legal
+state*: a proper coloring within the palette, after which no node
+changes state again until the next perturbation.  The run-until-
+quiescent loop lives in :mod:`repro.faults.engine`; this module only
+defines the node programs, in both the per-node and batched forms the
+static engine uses (the dict/flat parity axis extends to recovery runs).
+
+Two protocols, following the min+1 line of Dubois–Masuzawa–Tixeuil
+(see PAPERS.md and docs/fault_tolerance.md):
+
+:class:`MinPlusOneRecoloring`
+    The min+1 repair rule with an identifier tie-break.  Nodes
+    broadcast ``(id, color, dirty)`` where ``dirty`` flags a detected
+    conflict or out-of-palette color.  A dirty node whose identifier
+    beats every dirty neighbour recolors to the minimum palette color
+    absent from its neighbourhood (the "min+1" choice).  Movers of one
+    round form an independent set, so each repair is final with respect
+    to the state it observed and the dirty set shrinks monotonically
+    between perturbations — conflicts never spread past the nodes that
+    detect them, which is the containment property the
+    :class:`~repro.verify.recovery` auditor measures.
+
+:class:`StabilizingGreedyAlgorithm`
+    The stabilizing variant of the batched greedy Δ+1 baseline: a node
+    that detects a conflict (or an out-of-range color) *drops* to
+    uncolored, and uncolored local maxima repick greedily exactly as in
+    :mod:`repro.distributed.greedy_baseline`.  Started from the all-
+    uncolored state on a static graph it reproduces the baseline's
+    trajectory; after a fault it re-runs greedy only on the damaged
+    region.
+
+Both per-node programs deliberately keep *no port-indexed state across
+rounds* — topology edits renumber ports between rounds, so any decision
+uses only the messages of the current round.  Both report
+``is_finished() == False`` forever (stabilizing protocols have no
+terminal state); they are driven by the faults engine's quiescence
+detector, not by the static engine's active-set termination.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.local.node import (
+    BatchContext,
+    BatchNodeAlgorithm,
+    NodeAlgorithm,
+    NodeContext,
+    lowest_free_bit,
+    segment_reduce,
+)
+
+__all__ = [
+    "StabilizingNodeAlgorithm",
+    "MinPlusOneRecoloring",
+    "BatchMinPlusOneRecoloring",
+    "StabilizingGreedyAlgorithm",
+    "BatchStabilizingGreedy",
+    "STABILIZING_PROTOCOLS",
+]
+
+
+def _unpack_input(value: Any) -> tuple[int, int]:
+    """Normalize the per-node input ``(budget, initial_color)``."""
+    if isinstance(value, tuple):
+        budget, color = value
+        return int(budget), int(color or 0)
+    return int(value), 0
+
+
+class StabilizingNodeAlgorithm(NodeAlgorithm):
+    """Shared surface of per-node stabilizing programs.
+
+    The faults engine drives these through three extra duck-typed hooks:
+    :meth:`corrupt` / :meth:`reset` inject state faults, and
+    :meth:`snapshot` exposes the *full* protocol state (not just the
+    output color) so quiescence detection cannot stop while invisible
+    state — a dirty flag, say — is still evolving.
+    """
+
+    def initialize(self, context: NodeContext) -> None:
+        super().initialize(context)
+        self.budget, self.color = _unpack_input(context.input)
+
+    def corrupt(self, value: int) -> None:
+        self.color = int(value)
+
+    def reset(self) -> None:
+        self.color = 0
+
+    def snapshot(self) -> tuple:
+        return (self.color,)
+
+    def is_finished(self) -> bool:
+        return False
+
+    def result(self) -> int:
+        return self.color
+
+
+class MinPlusOneRecoloring(StabilizingNodeAlgorithm):
+    """Min+1 repair with identifier tie-break; broadcasts (id, color, dirty)."""
+
+    def initialize(self, context: NodeContext) -> None:
+        super().initialize(context)
+        self.dirty = False
+
+    def reset(self) -> None:
+        super().reset()
+        self.dirty = False
+
+    def snapshot(self) -> tuple:
+        return (self.color, self.dirty)
+
+    def send(self, round_number: int) -> dict[int, Any]:
+        payload = (self.context.identifier, self.color, self.dirty)
+        return {port: payload for port in range(self.context.degree)}
+
+    def receive(self, round_number: int, messages: dict[int, Any]) -> None:
+        neighbours = list(messages.values())
+        illegal = not 1 <= self.color <= self.budget
+        rival = max(
+            (ident for ident, _color, dirty in neighbours if dirty), default=0
+        )
+        if self.dirty and self.context.identifier > rival:
+            # enabled: movers form an independent set (every dirty
+            # neighbour sees this bigger dirty id and stays put), so the
+            # min free color is conflict-free against what was observed
+            used = {color for _ident, color, _dirty in neighbours}
+            for candidate in range(1, self.budget + 1):
+                if candidate not in used:
+                    self.color = candidate
+                    self.dirty = False
+                    return
+            self.dirty = True  # no free color (cannot happen within budget)
+            return
+        conflict = any(
+            color == self.color and color != 0
+            for _ident, color, _dirty in neighbours
+        )
+        self.dirty = illegal or conflict
+
+
+class BatchMinPlusOneRecoloring(BatchNodeAlgorithm):
+    """Batched port of :class:`MinPlusOneRecoloring`.
+
+    Messages pack ``color * 2 + dirty`` into one int64 per slot
+    (identifiers are read off the fabric, as in the greedy baseline
+    port); the repair rule is replayed with segmented reductions.  The
+    used-color bit trick needs the palette below 62, hence
+    :meth:`can_run`; injected colors are clamped non-negative by the
+    plan, so the packing stays order-preserving.
+    """
+
+    fallback = MinPlusOneRecoloring
+
+    def can_run(self, context: BatchContext) -> bool:
+        budget = max(
+            (_unpack_input(x)[0] for x in context.inputs if x is not None), default=0
+        )
+        return budget < 62
+
+    def initialize_batch(self, context: BatchContext) -> None:
+        import numpy as np
+
+        super().initialize_batch(context)
+        self._np = np
+        pairs = [_unpack_input(x) for x in context.inputs]
+        self.budget = max((b for b, _c in pairs), default=1)
+        self.colors = np.asarray([c for _b, c in pairs], dtype=np.int64)
+        self.dirty = np.zeros(context.n, dtype=np.int64)
+        self._bind_topology(context)
+
+    def _bind_topology(self, context: BatchContext) -> None:
+        self.context = context
+        self._src = context.sources
+        self.nbr_ids = context.identifiers[context.endpoints]
+
+    def on_topology_change(self, context: BatchContext) -> None:
+        self._bind_topology(context)
+
+    def corrupt_batch(self, index: int, value: int) -> None:
+        self.colors[index] = int(value)
+
+    def reset_batch(self, index: int) -> None:
+        self.colors[index] = 0
+        self.dirty[index] = 0
+
+    def snapshot(self) -> tuple:
+        return (self.colors.tobytes(), self.dirty.tobytes())
+
+    def send_batch(self, round_number: int):
+        return (self.colors * 2 + self.dirty)[self._src]
+
+    def receive_batch(self, round_number: int, inbox, delivered) -> None:
+        np = self._np
+        offsets = self.context.offsets
+        # a dropped slot behaves exactly like a (color 0, clean) message:
+        # no id contribution, no conflict, no used color — zero it out
+        values = inbox if delivered is None else np.where(delivered, inbox, 0)
+        nbr_color = values >> 1
+        nbr_dirty = values & 1
+        own = self.colors[self._src]
+        rival = segment_reduce(
+            np.maximum, self.nbr_ids * nbr_dirty, offsets, empty=0
+        )
+        conflict_slot = (nbr_color == own) & (nbr_color != 0)
+        conflict = (
+            segment_reduce(
+                np.maximum, conflict_slot.astype(np.int64), offsets, empty=0
+            )
+            > 0
+        )
+        illegal = (self.colors < 1) | (self.colors > self.budget)
+        enabled = (self.dirty > 0) & (self.context.identifiers > rival)
+        in_palette = (nbr_color >= 1) & (nbr_color <= self.budget)
+        used = segment_reduce(
+            np.bitwise_or,
+            np.where(in_palette, 1 << np.where(in_palette, nbr_color, 0), 0),
+            offsets,
+            empty=0,
+        ) | 1
+        free = lowest_free_bit(used)
+        self.colors = np.where(enabled, free, self.colors)
+        self.dirty = np.where(enabled, 0, (illegal | conflict).astype(np.int64))
+
+    def is_finished_batch(self) -> bool:
+        return False
+
+    def results_batch(self) -> list[int]:
+        return [int(c) for c in self.colors]
+
+
+class StabilizingGreedyAlgorithm(StabilizingNodeAlgorithm):
+    """Drop-then-repick: conflicted nodes uncolor, greedy repairs the hole."""
+
+    def send(self, round_number: int) -> dict[int, Any]:
+        payload = (self.context.identifier, self.color)
+        return {port: payload for port in range(self.context.degree)}
+
+    def receive(self, round_number: int, messages: dict[int, Any]) -> None:
+        neighbours = list(messages.values())
+        illegal = self.color < 0 or self.color > self.budget
+        conflict = any(
+            color == self.color and color != 0 for _ident, color in neighbours
+        )
+        if illegal or conflict:
+            self.color = 0  # drop now, repick once the neighbourhood sees it
+            return
+        if self.color != 0:
+            return
+        rival = max(
+            (ident for ident, color in neighbours if color == 0), default=0
+        )
+        if self.context.identifier <= rival:
+            return
+        used = {color for _ident, color in neighbours if color != 0}
+        for candidate in range(1, self.budget + 1):
+            if candidate not in used:
+                self.color = candidate
+                return
+
+
+class BatchStabilizingGreedy(BatchNodeAlgorithm):
+    """Batched port of :class:`StabilizingGreedyAlgorithm`.
+
+    Raw colors travel on the slots (0 = uncolored); dropped slots are
+    encoded as -1 so a lost message is distinguishable from a genuine
+    "I am uncolored" broadcast — losing that broadcast is precisely how
+    message faults perturb the greedy repair.
+    """
+
+    fallback = StabilizingGreedyAlgorithm
+
+    def can_run(self, context: BatchContext) -> bool:
+        budget = max(
+            (_unpack_input(x)[0] for x in context.inputs if x is not None), default=0
+        )
+        return budget < 62
+
+    def initialize_batch(self, context: BatchContext) -> None:
+        import numpy as np
+
+        super().initialize_batch(context)
+        self._np = np
+        pairs = [_unpack_input(x) for x in context.inputs]
+        self.budget = max((b for b, _c in pairs), default=1)
+        self.colors = np.asarray([c for _b, c in pairs], dtype=np.int64)
+        self._bind_topology(context)
+
+    def _bind_topology(self, context: BatchContext) -> None:
+        self.context = context
+        self._src = context.sources
+        self.nbr_ids = context.identifiers[context.endpoints]
+
+    def on_topology_change(self, context: BatchContext) -> None:
+        self._bind_topology(context)
+
+    def corrupt_batch(self, index: int, value: int) -> None:
+        self.colors[index] = int(value)
+
+    def reset_batch(self, index: int) -> None:
+        self.colors[index] = 0
+
+    def snapshot(self) -> tuple:
+        return (self.colors.tobytes(),)
+
+    def send_batch(self, round_number: int):
+        return self.colors[self._src]
+
+    def receive_batch(self, round_number: int, inbox, delivered) -> None:
+        np = self._np
+        offsets = self.context.offsets
+        values = inbox if delivered is None else np.where(delivered, inbox, -1)
+        own = self.colors[self._src]
+        conflict_slot = (values == own) & (own != 0)
+        conflict = (
+            segment_reduce(
+                np.maximum, conflict_slot.astype(np.int64), offsets, empty=0
+            )
+            > 0
+        )
+        illegal = (self.colors < 0) | (self.colors > self.budget)
+        rival = segment_reduce(
+            np.maximum, np.where(values == 0, self.nbr_ids, 0), offsets, empty=0
+        )
+        pick = (
+            ~illegal
+            & ~conflict
+            & (self.colors == 0)
+            & (self.context.identifiers > rival)
+        )
+        in_palette = (values >= 1) & (values <= self.budget)
+        used = segment_reduce(
+            np.bitwise_or,
+            np.where(in_palette, 1 << np.where(in_palette, values, 0), 0),
+            offsets,
+            empty=0,
+        ) | 1
+        free = lowest_free_bit(used)
+        self.colors = np.where(
+            illegal | conflict, 0, np.where(pick, free, self.colors)
+        )
+
+    def is_finished_batch(self) -> bool:
+        return False
+
+    def results_batch(self) -> list[int]:
+        return [int(c) for c in self.colors]
+
+
+#: protocol name -> (per-node factory, batched factory); the scenario's
+#: protocol axis and the faults engine resolve through this table.
+STABILIZING_PROTOCOLS = {
+    "min-plus-one": (MinPlusOneRecoloring, BatchMinPlusOneRecoloring),
+    "stabilizing-greedy": (StabilizingGreedyAlgorithm, BatchStabilizingGreedy),
+}

@@ -45,6 +45,23 @@ class SimulationError(ReproError):
     """Raised when the LOCAL-model simulation is misused or diverges."""
 
 
+class NonTerminationError(SimulationError):
+    """Raised when a round-capped run ends with unfinished nodes.
+
+    Carries the structured facts a driver needs to report or react:
+    ``rounds`` is the number of rounds actually executed and ``active``
+    the size of the still-unfinished set when the cap was hit (``None``
+    when the engine does not track individual nodes, e.g. the batched
+    path).  Subclasses :class:`SimulationError` so existing callers that
+    catch the broad class keep working.
+    """
+
+    def __init__(self, message: str, *, rounds: int, active: int | None = None):
+        self.rounds = rounds
+        self.active = active
+        super().__init__(message)
+
+
 class LowerBoundError(ReproError):
     """Raised when a lower-bound certificate cannot be established."""
 

@@ -44,7 +44,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import SimulationError
+from repro.errors import NonTerminationError, SimulationError
 from repro.graphs.frozen import GraphLike, freeze
 from repro.graphs.graph import Vertex
 from repro.local.network import Network
@@ -104,7 +104,9 @@ class SynchronousSimulator:
 
         With ``strict=False`` (the default) hitting the round limit returns a
         result with ``finished=False``; with ``strict=True`` it raises
-        :class:`~repro.errors.SimulationError` instead, which is what callers
+        :class:`~repro.errors.NonTerminationError` (a
+        :class:`~repro.errors.SimulationError` carrying the round count and
+        active-set size) instead, which is what callers
         that *assume* termination (most tests and drivers) should use so that
         a diverging algorithm cannot silently masquerade as a slow one.
 
@@ -173,9 +175,11 @@ class SynchronousSimulator:
         while active:
             if rounds >= max_rounds:
                 if strict:
-                    raise SimulationError(
+                    raise NonTerminationError(
                         f"simulation hit max_rounds={max_rounds} with "
-                        f"{len(active)} unfinished node(s)"
+                        f"{len(active)} unfinished node(s)",
+                        rounds=rounds,
+                        active=len(active),
                     )
                 return self._result(labels, nodes, rounds, total_messages,
                                     per_round, finished=False)
@@ -303,9 +307,10 @@ class SynchronousSimulator:
         while not program.is_finished_batch():
             if rounds >= max_rounds:
                 if strict:
-                    raise SimulationError(
+                    raise NonTerminationError(
                         f"simulation hit max_rounds={max_rounds} with "
-                        "unfinished node(s)"
+                        "unfinished node(s)",
+                        rounds=rounds,
                     )
                 return SimulationResult(
                     rounds=rounds,

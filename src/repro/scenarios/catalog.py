@@ -1085,6 +1085,147 @@ register(Scenario(
 
 
 # ---------------------------------------------------------------------------
+# E18 — dynamic (fault injection + self-stabilizing recovery)
+# ---------------------------------------------------------------------------
+
+def _build_dynamic(params: Params, profile: bool) -> list[BatchTask]:
+    built = []
+    n = params["n"]
+    for family in params["families"]:
+        for faults in params["faults"]:
+            instance = f"{family} n={n} faults={faults}"
+            for protocol in params["protocols"]:
+                # seed_group = instance: every protocol/backend row of an
+                # instance perturbs the same graph with the same plan, so
+                # the parity checks compare like with like
+                for backend in params["backends"]:
+                    built.append(BatchTask(
+                        instance, f"{protocol} [{backend}]",
+                        tasks.dynamic_recovery,
+                        args=(family, n, faults, protocol, backend),
+                        kwargs={
+                            "events": params["events"],
+                            "window": params["window"],
+                            "max_rounds": params["max_rounds"],
+                            "profile": profile,
+                        },
+                        seed_group=instance,
+                    ))
+    return built
+
+
+#: per-row metrics that must be bit-identical across the backend axis
+_DYNAMIC_PARITY = (
+    "coloring_sha", "log_sha", "rounds", "messages",
+    "rounds_to_recovery", "containment_radius",
+)
+
+
+def _check_dynamic(runner: ExperimentRunner, params: Params) -> list[str]:
+    failures = []
+    groups: dict[tuple[str, str], list] = {}
+    for row in runner.rows:
+        m = row.metrics
+        if not m.get("recovered") or m.get("rounds_to_recovery", -1) < 0:
+            failures.append(f"{row.instance} / {row.algorithm}: never recovered")
+        if not m.get("legal"):
+            failures.append(
+                f"{row.instance} / {row.algorithm}: final coloring illegal"
+            )
+        if not m.get("quiescent"):
+            failures.append(
+                f"{row.instance} / {row.algorithm}: did not reach quiescence"
+            )
+        if m.get("containment_violations"):
+            failures.append(
+                f"{row.instance} / {row.algorithm}: "
+                f"{m['containment_violations']} recolor(s) escaped the "
+                "perturbation's causal cone"
+            )
+        base = row.algorithm.split(" [", 1)[0]
+        groups.setdefault((row.instance, base), []).append(row)
+    # the dynamic parity contract: dict and flat backends replay the same
+    # plan to the same trace, fingerprint for fingerprint
+    for (instance, base), members in groups.items():
+        if len(members) < 2:
+            continue
+        for metric in _DYNAMIC_PARITY:
+            values = {r.algorithm: r.metrics.get(metric) for r in members}
+            if len(set(map(repr, values.values()))) > 1:
+                failures.append(
+                    f"{instance} / {base}: {metric} diverges across "
+                    f"backends ({values})"
+                )
+    return failures
+
+
+def _finalize_dynamic(runner: ExperimentRunner, params: Params) -> None:
+    recoveries = [
+        row.metrics["rounds_to_recovery"]
+        for row in runner.rows
+        if row.metrics.get("rounds_to_recovery", -1) >= 0
+    ]
+    if recoveries:
+        runner.metadata["rounds_to_recovery"] = {
+            "max": max(recoveries),
+            "mean": round(sum(recoveries) / len(recoveries), 2),
+        }
+    radii = [
+        row.metrics["containment_radius"]
+        for row in runner.rows
+        if "containment_radius" in row.metrics
+    ]
+    if radii:
+        runner.metadata["containment_radius_max"] = max(radii)
+
+
+register(Scenario(
+    name="dynamic",
+    title="E18 dynamic graphs — self-stabilizing recovery under injected faults",
+    paper_ref="ROADMAP north star (dynamic graphs + fault tolerance)",
+    description=(
+        "Fault-injection sweep over the Lemma 3.1 graph families: a legally "
+        "colored graph is perturbed by a seeded FaultPlan (color "
+        "corruptions, node resets, edge churn, lossy/duplicated messages) "
+        "while a self-stabilizing protocol (min+1 recoloring, or the "
+        "stabilizing greedy Delta+1) runs until quiescence on the dict or "
+        "flat PerturbableNetwork backend.  Every trace is replay-audited by "
+        "the RecoveryOracle and the containment auditor before its row is "
+        "written; rows carry rounds-to-recovery, recolored-vertex counts "
+        "and the containment radius, and the two backends must agree "
+        "fingerprint-for-fingerprint on every instance."
+    ),
+    build_tasks=_build_dynamic,
+    defaults={
+        "families": ("planar", "regular", "forest-union"),
+        "n": 90,
+        "faults": ("corrupt", "reset", "edge-churn", "message"),
+        "protocols": ("min-plus-one", "stabilizing-greedy"),
+        "backends": ("dict", "flat"),
+        "events": 8,
+        "window": 3,
+        "max_rounds": 400,
+    },
+    smoke_overrides={
+        "n": 36,
+        "faults": ("corrupt", "edge-churn"),
+        "protocols": ("min-plus-one",),
+        "events": 3,
+        "window": 2,
+        "max_rounds": 200,
+    },
+    reference={
+        "recovery": "every run re-establishes a legal coloring and quiesces",
+        "containment": "recolors stay inside the perturbations' causal cones",
+        "parity": "identical traces on the dict and flat backends",
+    },
+    size_param="n",
+    finalize=_finalize_dynamic,
+    check=_check_dynamic,
+))
+
+
+# ---------------------------------------------------------------------------
 # Campaigns: named scenario sets for `python -m repro campaign`
 # ---------------------------------------------------------------------------
 
@@ -1099,4 +1240,5 @@ CAMPAIGNS: dict[str, list[str]] = {
     ],
     "lowerbounds": ["lowerbound-fisk", "lowerbound-grids"],
     "perf": ["primitives", "simulator", "coloring"],
+    "robustness": ["dynamic"],
 }

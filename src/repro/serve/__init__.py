@@ -21,7 +21,7 @@ prove them legal.  The package layers, front to back:
 See ``docs/serving.md`` for the request/response schema.
 """
 
-from repro.serve.client import ServeClient, ServeResponseError
+from repro.serve.client import ServeClient, ServeDeadlineError, ServeResponseError
 from repro.serve.protocol import PROTOCOL_VERSION, ServeError
 from repro.serve.server import ColoringService, ServeConfig
 
@@ -29,6 +29,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ServeError",
     "ServeClient",
+    "ServeDeadlineError",
     "ServeResponseError",
     "ColoringService",
     "ServeConfig",

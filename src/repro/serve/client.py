@@ -7,16 +7,27 @@ to share between coroutines — the load generator opens one per
 simulated user instead.  :meth:`ServeClient.request` returns the raw
 response dict; :class:`ServeResponseError` is raised for structured
 ``ok=false`` responses so callers can switch on the error code.
+
+Transport faults are retried: every service op is idempotent (uploads
+are content-addressed, colorings digest-keyed and cached), so a dropped
+connection mid-request is safe to replay.  Both :meth:`ServeClient.
+connect` and :meth:`ServeClient.request` make a bounded number of
+attempts with exponential backoff and jitter between them; an optional
+per-request ``deadline`` caps the whole exchange — backoff sleeps
+included — and raises :class:`ServeDeadlineError` (a ``TimeoutError``)
+when it expires.  Structured error responses are never retried: the
+server answered, it just said no.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any
 
 from repro.serve.protocol import decode_line, encode_line
 
-__all__ = ["ServeClient", "ServeResponseError"]
+__all__ = ["ServeClient", "ServeDeadlineError", "ServeResponseError"]
 
 
 class ServeResponseError(Exception):
@@ -28,30 +39,83 @@ class ServeResponseError(Exception):
         super().__init__(f"[{code}] {message}")
 
 
-class ServeClient:
-    """One JSONL connection to a running coloring service."""
+class ServeDeadlineError(TimeoutError):
+    """The per-request deadline expired before a response arrived."""
 
-    def __init__(self, host: str, port: int):
+
+#: transport-level failures worth a reconnect-and-replay
+_RETRYABLE = (ConnectionError, asyncio.IncompleteReadError, OSError)
+
+
+class ServeClient:
+    """One JSONL connection to a running coloring service.
+
+    ``retries`` is the number of *additional* attempts after the first
+    (so ``retries=2`` means at most three exchanges per request);
+    ``backoff_base`` doubles per retry up to ``backoff_max``, scaled by
+    a jitter factor in [0.5, 1.5) drawn from ``jitter_seed`` (seed it in
+    tests for reproducible schedules).  ``deadline`` is the per-request
+    wall-clock budget in seconds (``None`` = wait forever).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        deadline: float | None = None,
+        jitter_seed: int | None = None,
+    ):
         self.host = host
         self.port = port
+        self.retries = max(0, int(retries))
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.deadline = deadline
+        self._rng = random.Random(jitter_seed)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
 
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
     async def connect(self) -> "ServeClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port, limit=64 * 1024 * 1024
-        )
-        return self
+        """Open the connection, retrying refused/failed dials with backoff."""
+        deadline_at = self._deadline_at()
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            await self._backoff(attempt, deadline_at)
+            try:
+                self._reader, self._writer = await self._guarded(
+                    asyncio.open_connection(
+                        self.host, self.port, limit=64 * 1024 * 1024
+                    ),
+                    deadline_at,
+                )
+                return self
+            except _RETRYABLE as exc:
+                last_error = exc
+        raise ConnectionError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.retries + 1} attempt(s): {last_error}"
+        ) from last_error
 
     async def aclose(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
+        await self._drop()
+
+    async def _drop(self) -> None:
+        """Tear down the current connection (quietly) so the next attempt redials."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
             try:
-                await self._writer.wait_closed()
+                await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
-            self._reader = self._writer = None
 
     async def __aenter__(self) -> "ServeClient":
         return await self.connect()
@@ -60,21 +124,76 @@ class ServeClient:
         await self.aclose()
 
     # ------------------------------------------------------------------
+    # retry plumbing
+    # ------------------------------------------------------------------
+    def _deadline_at(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return asyncio.get_running_loop().time() + self.deadline
+
+    def _remaining(self, deadline_at: float | None) -> float | None:
+        if deadline_at is None:
+            return None
+        remaining = deadline_at - asyncio.get_running_loop().time()
+        if remaining <= 0:
+            raise ServeDeadlineError(
+                f"deadline of {self.deadline}s expired before the request "
+                "completed"
+            )
+        return remaining
+
+    async def _backoff(self, attempt: int, deadline_at: float | None) -> None:
+        """Sleep before retry ``attempt`` (no-op before the first try)."""
+        if attempt == 0:
+            return
+        delay = min(self.backoff_max, self.backoff_base * 2 ** (attempt - 1))
+        delay *= 0.5 + self._rng.random()  # equal jitter: [0.5x, 1.5x)
+        remaining = self._remaining(deadline_at)
+        if remaining is not None:
+            delay = min(delay, remaining)
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    async def _guarded(self, awaitable, deadline_at: float | None):
+        """Run one awaitable under what is left of the deadline."""
+        remaining = self._remaining(deadline_at)
+        if remaining is None:
+            return await awaitable
+        try:
+            return await asyncio.wait_for(awaitable, timeout=remaining)
+        except (TimeoutError, asyncio.TimeoutError) as exc:
+            raise ServeDeadlineError(
+                f"deadline of {self.deadline}s expired before the request "
+                "completed"
+            ) from exc
+
+    # ------------------------------------------------------------------
     async def request(self, payload: dict[str, Any], *, check: bool = True) -> dict[str, Any]:
         """Send one request line, await its response line.
 
-        ``check=True`` (default) raises :class:`ServeResponseError` on
-        ``ok=false``; pass ``check=False`` to inspect error responses
-        directly (the fault-path tests do).
+        Transport failures (dropped connection, refused redial, truncated
+        response) are retried up to ``retries`` times with backoff; the
+        per-request ``deadline`` bounds the whole exchange including the
+        sleeps.  ``check=True`` (default) raises
+        :class:`ServeResponseError` on ``ok=false``; pass ``check=False``
+        to inspect error responses directly (the fault-path tests do).
         """
-        if self._reader is None or self._writer is None:
-            await self.connect()
-        async with self._lock:
-            self._writer.write(encode_line(payload))
-            await self._writer.drain()
-            line = await self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
+        deadline_at = self._deadline_at()
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            await self._backoff(attempt, deadline_at)
+            try:
+                line = await self._guarded(self._exchange(payload), deadline_at)
+            except _RETRYABLE as exc:
+                last_error = exc
+                await self._drop()
+                continue
+            break
+        else:
+            raise ConnectionError(
+                f"request failed after {self.retries + 1} attempt(s): "
+                f"{last_error}"
+            ) from last_error
         response = decode_line(line)
         if check and not response.get("ok"):
             error = response.get("error") or {}
@@ -82,6 +201,20 @@ class ServeClient:
                 error.get("code", "internal"), error.get("message", ""), response
             )
         return response
+
+    async def _exchange(self, payload: dict[str, Any]) -> bytes:
+        """One write/read round trip; raises ConnectionError on EOF."""
+        if self._reader is None or self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=64 * 1024 * 1024
+            )
+        async with self._lock:
+            self._writer.write(encode_line(payload))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return line
 
     # ------------------------------------------------------------------
     # convenience wrappers

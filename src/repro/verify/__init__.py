@@ -14,6 +14,9 @@ protocol plus concrete oracles for every statement the repo reproduces —
 * the **locality auditor** (:mod:`repro.verify.locality`) — Theorem 1.5's
   indistinguishability argument turned into an executable check that node
   programs on the round engine depend only on their r-balls;
+* the **recovery oracles** (:mod:`repro.verify.recovery`) — replay-based
+  legality and fault-containment checks over the stabilization traces of
+  :mod:`repro.faults`, the locality auditor's dynamic counterpart;
 * substrate parity (:mod:`repro.verify.parity`) and the BENCH-artifact
   suite behind ``python -m repro verify`` (:mod:`repro.verify.artifact`).
 
@@ -43,6 +46,13 @@ from repro.verify.locality import (
     LocalityOracle,
     LocalityViolation,
     audit_locality,
+)
+from repro.verify.recovery import (
+    ContainmentOracle,
+    RecoveryOracle,
+    measure_containment,
+    recovery_metrics,
+    rounds_to_recovery,
 )
 from repro.verify.artifact import (
     ARTIFACT_ORACLE_NAMES,
@@ -74,6 +84,11 @@ __all__ = [
     "LocalityAuditReport",
     "LocalityViolation",
     "audit_locality",
+    "RecoveryOracle",
+    "ContainmentOracle",
+    "measure_containment",
+    "recovery_metrics",
+    "rounds_to_recovery",
     "ARTIFACT_ORACLE_NAMES",
     "artifact_failures",
     "verify_artifact_dict",

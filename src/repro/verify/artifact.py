@@ -15,7 +15,11 @@ module re-checks such artifacts *after the fact* — the machinery behind
   ``colors``, ``palette``, ``layers``) — the artifact-level form of the
   parity promises;
 * **round-envelope** — measured round totals of the known pipelines stay
-  inside the statement envelopes of :mod:`repro.verify.rounds`.
+  inside the statement envelopes of :mod:`repro.verify.rounds`;
+* **recovery** — rows of the dynamic (E18) scenario recovered: every row
+  carrying ``rounds_to_recovery`` reached a legal quiescent state within
+  its declared round cap, with zero containment violations and a
+  containment radius inside its declared bound.
 
 The suite is generic over scenarios: oracles inspect whatever rows carry
 the metrics they understand and skip the rest, so every registered
@@ -32,7 +36,13 @@ from repro.verify.rounds import RoundEnvelopeOracle
 
 __all__ = ["verify_artifact_dict", "artifact_failures", "ARTIFACT_ORACLE_NAMES"]
 
-ARTIFACT_ORACLE_NAMES = ("schema", "budget", "variant-parity", "round-envelope")
+ARTIFACT_ORACLE_NAMES = (
+    "schema",
+    "budget",
+    "variant-parity",
+    "round-envelope",
+    "recovery",
+)
 
 #: deterministic metrics that must agree across backend/engine variants
 _PARITY_METRICS = ("coloring_sha", "rounds", "messages", "colors", "palette", "layers")
@@ -210,6 +220,41 @@ def _check_round_envelopes(
     return out.verdict()
 
 
+def _check_recovery(rows: list[dict]) -> Verdict:
+    """Audit dynamic-scenario rows: recovered, quiescent, contained."""
+    out = collector("recovery")
+    for row in rows:
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict) or "rounds_to_recovery" not in metrics:
+            continue
+        out.saw()
+        if not metrics.get("recovered", True) or metrics["rounds_to_recovery"] < 0:
+            out.fail(f"{_row_label(row)}: run never recovered a legal coloring")
+        if not metrics.get("legal", False):
+            out.fail(f"{_row_label(row)}: final coloring is not legal")
+        if not metrics.get("quiescent", False):
+            out.fail(f"{_row_label(row)}: run did not reach a silent state")
+        if metrics.get("containment_violations", 0):
+            out.fail(
+                f"{_row_label(row)}: {metrics['containment_violations']} "
+                "recolor(s) outside the perturbation's causal cone"
+            )
+        cap = metrics.get("recovery_cap")
+        if cap is not None and metrics["rounds_to_recovery"] > cap:
+            out.fail(
+                f"{_row_label(row)}: rounds_to_recovery="
+                f"{metrics['rounds_to_recovery']} exceeds the cap {cap}"
+            )
+        bound = metrics.get("containment_bound")
+        radius = metrics.get("containment_radius")
+        if bound is not None and radius is not None and radius > bound:
+            out.fail(
+                f"{_row_label(row)}: containment_radius={radius} exceeds "
+                f"the declared bound {bound}"
+            )
+    return out.verdict()
+
+
 def verify_artifact_dict(
     artifact: Any, expected_name: str | None = None
 ) -> list[Verdict]:
@@ -232,6 +277,7 @@ def verify_artifact_dict(
     verdicts.append(_check_budgets(rows))
     verdicts.append(_check_variant_parity(rows))
     verdicts.append(_check_round_envelopes(scenario, rows, scenario_params))
+    verdicts.append(_check_recovery(rows))
     return verdicts
 
 

@@ -1,0 +1,319 @@
+"""Recovery oracles: legality after perturbation, measured and contained.
+
+The witness is a :class:`~repro.faults.engine.StabilizationTrace` — a
+*replayable* ledger: initial coloring + initial edges, then per round
+the applied fault events and the (vertex, new color) deltas.  That
+redundancy is the point: the oracles re-derive every per-round conflict
+count and legality flag from the deltas alone and compare them against
+what the run recorded, so a log that hides an illegal intermediate
+coloring (or smuggles in an unrecorded recolor) is rejected — the
+mutation tests pin this down.
+
+Three consumers:
+
+:class:`RecoveryOracle`
+    Replays the trace; asserts the recorded conflict counts, legality
+    flags, final coloring and quiescence claim are all consistent, and
+    that a quiescent run ends in a *legal* palette coloring.
+:class:`ContainmentOracle`
+    The dynamic extension of the PR-5 locality auditor: information
+    travels one hop per round, so a vertex recoloring at round ``r``
+    must lie within distance ``r - p + 1`` of some perturbation applied
+    at round ``p <= r``.  Distances are taken on the union topology
+    (initial plus all inserted edges) — a supergraph only shortens
+    distances, so the check never produces false alarms.
+:func:`recovery_metrics`
+    The scenario-facing measurement: rounds-to-recovery (rounds from
+    the last applied fault until legality holds for good), recolored
+    vertex count, containment radius, peak conflicts — the columns of
+    ``BENCH_dynamic.json``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.verify.oracle import Verdict, collector
+
+__all__ = [
+    "RecoveryOracle",
+    "ContainmentOracle",
+    "recovery_metrics",
+    "measure_containment",
+    "rounds_to_recovery",
+]
+
+
+# ---------------------------------------------------------------------------
+# replay helpers
+# ---------------------------------------------------------------------------
+
+
+def _edge_key(u: Any, v: Any) -> tuple:
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class _Replay:
+    """Steps a trace forward round by round, re-deriving legality."""
+
+    def __init__(self, trace):
+        self.adj: dict[Any, set] = {v: set() for v in trace.labels}
+        for u, v in trace.initial_edges:
+            self.adj[u].add(v)
+            self.adj[v].add(u)
+        self.coloring = dict(trace.initial_coloring)
+        self.budget = trace.budget
+
+    def apply(self, record) -> tuple[int, bool]:
+        """Apply one record's faults + deltas; return (conflicts, legal)."""
+        for fault in record.faults:
+            if not fault.applied:
+                continue
+            if fault.kind == "edge-insert":
+                u, v = fault.vertices
+                self.adj[u].add(v)
+                self.adj[v].add(u)
+            elif fault.kind == "edge-delete":
+                u, v = fault.vertices
+                self.adj[u].discard(v)
+                self.adj[v].discard(u)
+        for vertex, color in record.changes:
+            self.coloring[vertex] = color
+        conflicts = self.conflicts()
+        legal = conflicts == 0 and all(
+            1 <= c <= self.budget for c in self.coloring.values()
+        )
+        return conflicts, legal
+
+    def conflicts(self) -> int:
+        seen: set[tuple] = set()
+        count = 0
+        for u, neighbours in self.adj.items():
+            for v in neighbours:
+                key = _edge_key(u, v)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if self.coloring[u] == self.coloring[v]:
+                    count += 1
+        return count
+
+
+# ---------------------------------------------------------------------------
+# RecoveryOracle
+# ---------------------------------------------------------------------------
+
+
+class RecoveryOracle:
+    """Replays a StabilizationTrace and audits its every recorded claim."""
+
+    name = "recovery"
+
+    def check(self, **subject: Any) -> Verdict:
+        trace = subject["trace"]
+        out = collector(self.name)
+        replay = _Replay(trace)
+        known = set(trace.labels)
+        expected_round = 0
+        for record in trace.records:
+            expected_round += 1
+            out.saw()
+            if record.round != expected_round:
+                out.fail(
+                    f"round numbering broken: expected {expected_round}, "
+                    f"record says {record.round}"
+                )
+            bad = [v for v, _c in record.changes if v not in known]
+            if bad:
+                out.fail(
+                    f"round {record.round}: changes name unknown "
+                    f"vertices {sorted(map(repr, bad))[:4]}"
+                )
+                continue
+            conflicts, legal = replay.apply(record)
+            if conflicts != record.conflicts:
+                out.fail(
+                    f"round {record.round}: recorded {record.conflicts} "
+                    f"conflicting edge(s), replay finds {conflicts}"
+                )
+            if legal != record.legal:
+                out.fail(
+                    f"round {record.round}: recorded legal={record.legal}, "
+                    f"replay says {legal} — the log misstates an "
+                    "intermediate coloring"
+                )
+        out.saw()
+        if trace.final_coloring != replay.coloring:
+            diff = [
+                v
+                for v in trace.labels
+                if trace.final_coloring.get(v) != replay.coloring.get(v)
+            ]
+            out.fail(
+                f"final coloring disagrees with the replayed deltas on "
+                f"{len(diff)} vertex(es), e.g. {sorted(map(repr, diff))[:4]}"
+            )
+        if trace.quiescent:
+            out.saw()
+            if trace.records and (
+                trace.records[-1].changes
+                or any(f.applied for f in trace.records[-1].faults)
+            ):
+                out.fail(
+                    "quiescent=True but the final round still changed "
+                    "state or applied faults"
+                )
+            out.saw()
+            if trace.records and not trace.records[-1].legal:
+                out.fail(
+                    "quiescent=True but the final coloring is not a legal "
+                    "palette coloring — the protocol stalled in an "
+                    "illegitimate state"
+                )
+        return out.verdict()
+
+
+# ---------------------------------------------------------------------------
+# containment
+# ---------------------------------------------------------------------------
+
+
+def _union_adjacency(trace) -> dict[Any, set]:
+    adj: dict[Any, set] = {v: set() for v in trace.labels}
+    for u, v in trace.initial_edges:
+        adj[u].add(v)
+        adj[v].add(u)
+    for fault in trace.applied_events():
+        if fault.kind == "edge-insert":
+            u, v = fault.vertices
+            adj[u].add(v)
+            adj[v].add(u)
+    return adj
+
+
+def _bfs_distances(adj: dict, sources: list) -> dict[Any, int]:
+    dist = {s: 0 for s in sources if s in adj}
+    queue = deque(dist)
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                queue.append(v)
+    return dist
+
+
+def measure_containment(trace) -> tuple[int, list[str]]:
+    """(containment radius, violations) of a trace's recolor pattern.
+
+    Every (vertex, round) recolor must be reachable from some applied
+    perturbation: distance at most ``round - p + 1`` from a fault
+    applied at round ``p``.  (A fault applied before round ``p``'s sends
+    is broadcast in round ``p`` and received the same round — the
+    synchronous engine delivers within the round — so distance-1
+    vertices may already react at round ``p``; each further hop costs a
+    round.)  The radius is the largest seed distance any recolor
+    attained — how far the damage spread before the protocol contained
+    it.
+    """
+    adj = _union_adjacency(trace)
+    waves = [
+        (fault.round, _bfs_distances(adj, list(fault.vertices)))
+        for fault in trace.applied_events()
+    ]
+    radius = 0
+    violations: list[str] = []
+    for record in trace.records:
+        for vertex, _color in record.changes:
+            admissible = [
+                dist[vertex]
+                for p, dist in waves
+                if p <= record.round
+                and vertex in dist
+                and dist[vertex] <= record.round - p + 1
+            ]
+            if not admissible:
+                violations.append(
+                    f"vertex {vertex!r} recolored at round {record.round} "
+                    "outside the causal cone of every applied perturbation"
+                )
+                continue
+            radius = max(radius, min(admissible))
+    return radius, violations
+
+
+class ContainmentOracle:
+    """Asserts recovery stayed local to the perturbation neighbourhoods."""
+
+    name = "containment"
+
+    def check(self, **subject: Any) -> Verdict:
+        trace = subject["trace"]
+        radius_bound = subject.get("radius_bound")
+        out = collector(self.name)
+        radius, violations = measure_containment(trace)
+        out.saw(sum(len(record.changes) for record in trace.records) + 1)
+        for violation in violations:
+            out.fail(violation)
+        if radius_bound is not None and radius > radius_bound:
+            out.fail(
+                f"containment radius {radius} exceeds the declared "
+                f"bound {radius_bound}"
+            )
+        return out.verdict()
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+def rounds_to_recovery(trace) -> int | None:
+    """Rounds from the last applied fault until legality holds for good.
+
+    0 when the run was legal from the last fault onwards (or no fault
+    applied at all); ``None`` when the run never (re-)establishes a
+    suffix of legal rounds — i.e. it ended illegal.
+    """
+    records = trace.records
+    if not records:
+        return None
+    suffix_start = None  # earliest index from which every record is legal
+    for index in range(len(records) - 1, -1, -1):
+        if not records[index].legal:
+            break
+        suffix_start = index
+    if suffix_start is None:
+        return None
+    applied = trace.applied_events()
+    if not applied:
+        return 0
+    last_fault = max(fault.round for fault in applied)
+    first_legal_round = max(records[suffix_start].round, last_fault)
+    return first_legal_round - last_fault
+
+
+def recovery_metrics(trace) -> dict[str, Any]:
+    """The per-row measurement block of the E18 scenario."""
+    recovery = rounds_to_recovery(trace)
+    radius, violations = measure_containment(trace)
+    recolored = {v for record in trace.records for v, _c in record.changes}
+    applied = trace.applied_events()
+    log = trace.event_log()
+    return {
+        "rounds": trace.rounds,
+        "quiescent": bool(trace.quiescent),
+        "legal": bool(trace.records[-1].legal) if trace.records else False,
+        "rounds_to_recovery": -1 if recovery is None else recovery,
+        "recovered": recovery is not None,
+        "recolored_vertices": len(recolored),
+        "containment_radius": radius,
+        "containment_violations": len(violations),
+        "conflicts_peak": max(
+            (record.conflicts for record in trace.records), default=0
+        ),
+        "faults_applied": len(applied),
+        "faults_skipped": len(log) - len(applied),
+        "messages": trace.messages_sent(),
+    }

@@ -1,0 +1,289 @@
+"""Fault plane tests: plans, perturbable networks, stabilizing runs.
+
+Four layers of coverage:
+
+* **FaultPlan** — validation, canonical event ordering, deterministic
+  seeding, digest stability;
+* **PerturbableNetwork** — edit semantics (applied vs. skipped) and the
+  dict/flat fabric parity after identical edit sequences;
+* **run_stabilizing** — both protocols on both backends recover a legal
+  quiescent coloring under every fault kind, with the recovery and
+  containment oracles passing on the resulting trace, and the strict
+  round cap raising the structured ``NonTerminationError``;
+* a **hypothesis property** pinning perturbation determinism: the same
+  ``FaultPlan`` seed yields bit-identical event logs and final
+  colorings across the dict and flat backends and across repeated runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import degeneracy_greedy_coloring
+from repro.distributed.stabilizing import STABILIZING_PROTOCOLS
+from repro.errors import NonTerminationError, SimulationError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    PerturbableNetwork,
+    event_log_digest,
+    palette_bound,
+    run_stabilizing,
+)
+from repro.graphs.frozen import HAS_NUMPY
+from repro.graphs.generators import classic, planar, sparse
+from repro.verify.recovery import (
+    ContainmentOracle,
+    RecoveryOracle,
+    recovery_metrics,
+    rounds_to_recovery,
+)
+
+BACKENDS = ("dict", "flat") if HAS_NUMPY else ("dict",)
+PROTOCOLS = tuple(sorted(STABILIZING_PROTOCOLS))
+
+
+def _factory(protocol: str, backend: str):
+    per_node, batched = STABILIZING_PROTOCOLS[protocol]
+    return batched if backend == "flat" else per_node
+
+
+def _run(graph, plan, protocol, backend, *, initial=None, max_rounds=300, **kw):
+    pnet = PerturbableNetwork(graph, backend=backend)
+    return run_stabilizing(
+        pnet,
+        _factory(protocol, backend),
+        plan=plan,
+        budget=palette_bound(graph, plan),
+        initial_coloring=(
+            degeneracy_greedy_coloring(graph) if initial is None else initial
+        ),
+        max_rounds=max_rounds,
+        protocol=protocol,
+        **kw,
+    )
+
+
+def _fingerprint(trace) -> tuple:
+    return (
+        event_log_digest(trace.event_log()),
+        tuple(sorted(
+            (repr(v), c) for v, c in trace.final_coloring.items()
+        )),
+        trace.rounds,
+        trace.messages_sent(),
+        trace.quiescent,
+    )
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+# ---------------------------------------------------------------------------
+
+def test_fault_event_validation():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultEvent(1, "meteor-strike", (0,))
+    with pytest.raises(ValueError, match="round"):
+        FaultEvent(0, "corrupt-color", (0,), value=2)
+    with pytest.raises(ValueError):
+        FaultEvent(1, "edge-insert", (0,))  # edge events need two endpoints
+    with pytest.raises(ValueError):
+        FaultEvent(1, "corrupt-color", (0, 1), value=2)
+
+
+def test_fault_plan_sorts_events_canonically():
+    plan = FaultPlan(
+        events=(
+            FaultEvent(3, "message-drop", (0, 1)),
+            FaultEvent(2, "corrupt-color", (4,), value=1),
+            FaultEvent(3, "edge-delete", (0, 1)),
+        ),
+        seed=0,
+    )
+    kinds = [e.kind for e in plan.events]
+    # within a round, edge edits sort before message faults, so the
+    # message fault is judged against the post-edit topology
+    assert kinds == ["corrupt-color", "edge-delete", "message-drop"]
+    assert plan.last_round() == 3
+    assert [e.kind for e in plan.events_for(3)] == ["edge-delete", "message-drop"]
+    assert plan.events_for(7) == []
+
+
+def test_random_plan_is_deterministic_and_respects_kinds():
+    graph = planar.stacked_triangulation(40, seed=2)
+    a = FaultPlan.random(graph, seed=11, kinds=("corrupt-color", "node-reset"), events=6)
+    b = FaultPlan.random(graph, seed=11, kinds=("corrupt-color", "node-reset"), events=6)
+    assert a.events == b.events
+    assert a.digest() == b.digest()
+    assert len(a.events) == 6
+    assert set(a.kinds()) <= {"corrupt-color", "node-reset"}
+    c = FaultPlan.random(graph, seed=12, kinds=("corrupt-color", "node-reset"), events=6)
+    assert c.digest() != a.digest()
+
+
+def test_palette_bound_covers_inserted_edges():
+    graph = classic.path(4)  # max degree 2
+    plan = FaultPlan(
+        events=(
+            FaultEvent(2, "edge-insert", (0, 2)),
+            FaultEvent(2, "edge-insert", (0, 3)),
+        ),
+        seed=0,
+    )
+    # vertex 0 ends at degree 3 in the union topology -> budget 4
+    assert palette_bound(graph, plan) == 4
+
+
+# ---------------------------------------------------------------------------
+# PerturbableNetwork
+# ---------------------------------------------------------------------------
+
+def test_edit_semantics_applied_vs_skipped():
+    pnet = PerturbableNetwork(classic.path(4), backend="dict")
+    assert pnet.insert_edge(0, 2) is True
+    assert pnet.insert_edge(0, 2) is False  # already present
+    assert pnet.insert_edge(1, 1) is False  # loop
+    assert pnet.insert_edge(0, 99) is False  # unknown vertex
+    assert pnet.delete_edge(0, 2) is True
+    assert pnet.delete_edge(0, 2) is False  # already gone
+    assert pnet.has_edge(0, 1) and not pnet.has_edge(0, 2)
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="flat fabric needs numpy")
+def test_fabric_parity_after_identical_edits():
+    graph = sparse.union_of_random_forests(30, 2, seed=4)
+    edits = [("i", 0, 9), ("d", 0, 9), ("i", 3, 17), ("i", 5, 21), ("d", 3, 17)]
+    nets = {b: PerturbableNetwork(graph, backend=b) for b in ("dict", "flat")}
+    for op, u, v in edits:
+        outcomes = {
+            b: (net.insert_edge(u, v) if op == "i" else net.delete_edge(u, v))
+            for b, net in nets.items()
+        }
+        assert outcomes["dict"] == outcomes["flat"]
+        fd = nets["dict"].network.fabric
+        ff = nets["flat"].network.fabric
+        assert list(fd.offsets) == list(ff.offsets)
+        assert list(fd.endpoints) == list(ff.endpoints)
+        assert list(fd.reverse_slot) == list(ff.reverse_slot)
+
+
+def test_network_rebuild_is_lazy_and_versioned():
+    pnet = PerturbableNetwork(classic.cycle(6), backend="dict")
+    first = pnet.network
+    assert pnet.network is first  # no edit -> cached
+    pnet.insert_edge(0, 3)
+    assert pnet.network is not first
+
+
+# ---------------------------------------------------------------------------
+# run_stabilizing: recovery under every fault kind
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recovers_legal_quiescent_state_under_mixed_faults(protocol, backend):
+    graph = planar.stacked_triangulation(48, seed=5)
+    plan = FaultPlan.random(graph, seed=9, kinds=FAULT_KINDS, events=8, window=4)
+    trace = _run(graph, plan, protocol, backend)
+    assert trace.quiescent
+    assert trace.records[-1].legal
+    assert trace.protocol == protocol and trace.backend == backend
+    RecoveryOracle().check(trace=trace).raise_if_failed()
+    ContainmentOracle().check(trace=trace).raise_if_failed()
+    metrics = recovery_metrics(trace)
+    assert metrics["recovered"] and metrics["rounds_to_recovery"] >= 0
+    assert metrics["containment_violations"] == 0
+    assert metrics["faults_applied"] + metrics["faults_skipped"] == len(plan.events)
+
+
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_each_fault_kind_alone_is_survivable(kind):
+    graph = classic.random_regular_graph(30, 4, seed=1)
+    plan = FaultPlan.random(graph, seed=3, kinds=(kind,), events=4, window=3)
+    trace = _run(graph, plan, "min-plus-one", "dict")
+    assert trace.quiescent and trace.records[-1].legal
+    RecoveryOracle().check(trace=trace).raise_if_failed()
+
+
+def test_no_faults_means_immediate_quiescence():
+    graph = classic.cycle(8)
+    plan = FaultPlan(events=(), seed=0)
+    trace = _run(graph, plan, "min-plus-one", "dict")
+    assert trace.quiescent
+    assert rounds_to_recovery(trace) == 0
+    # a legal initial coloring never changes without a perturbation
+    assert all(not r.changes for r in trace.records)
+
+
+def test_uncolored_start_is_a_recoverable_corruption():
+    # self-stabilization from an arbitrary state: all-zero (uncolored)
+    # initial registers must still converge to a legal coloring
+    graph = sparse.union_of_random_forests(24, 2, seed=7)
+    plan = FaultPlan(events=(), seed=0)
+    trace = _run(graph, plan, "stabilizing-greedy", "dict", initial={})
+    assert trace.quiescent and trace.records[-1].legal
+
+
+def test_strict_round_cap_raises_structured_non_termination():
+    graph = classic.cycle(10)
+    # the plan's last event is beyond the cap, so quiescence is impossible
+    plan = FaultPlan(
+        events=(FaultEvent(50, "corrupt-color", (0,), value=1),), seed=0
+    )
+    with pytest.raises(NonTerminationError) as err:
+        _run(graph, plan, "min-plus-one", "dict", max_rounds=5, strict=True)
+    assert err.value.rounds == 5
+    assert err.value.active is not None
+
+
+def test_engine_rejects_degenerate_parameters():
+    graph = classic.path(3)
+    plan = FaultPlan(events=(), seed=0)
+    pnet = PerturbableNetwork(graph, backend="dict")
+    factory = _factory("min-plus-one", "dict")
+    with pytest.raises(SimulationError, match="budget"):
+        run_stabilizing(pnet, factory, plan=plan, budget=0)
+    with pytest.raises(SimulationError, match="max_rounds"):
+        run_stabilizing(pnet, factory, plan=plan, budget=3, max_rounds=0)
+
+
+def test_trace_is_replayable_and_message_counts_are_consistent():
+    graph = planar.stacked_triangulation(36, seed=8)
+    plan = FaultPlan.random(
+        graph, seed=21,
+        kinds=("corrupt-color", "message-drop", "message-duplicate"),
+        events=6, window=3,
+    )
+    trace = _run(graph, plan, "min-plus-one", "dict")
+    # dropped messages reduce, delivered duplicates increase the count
+    # relative to the lossless num_slots-per-round baseline; the exact
+    # cross-backend equality is pinned by the determinism property below
+    assert trace.messages_sent() > 0
+    log = trace.event_log()
+    assert len(log) == len(plan.events)
+    assert event_log_digest(log) == event_log_digest(trace.event_log())
+
+
+# ---------------------------------------------------------------------------
+# perturbation determinism (the hypothesis property)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    protocol=st.sampled_from(PROTOCOLS),
+)
+def test_same_seed_yields_bit_identical_runs(seed, protocol):
+    """Same FaultPlan seed => identical event logs and final colorings
+    across the dict/flat backends and across repeated runs."""
+    graph = planar.stacked_triangulation(40, seed=6)
+    plan = FaultPlan.random(graph, seed=seed, kinds=FAULT_KINDS, events=6, window=4)
+    fingerprints = {
+        _fingerprint(_run(graph, plan, protocol, backend))
+        for backend in BACKENDS
+        for _repeat in range(2)
+    }
+    assert len(fingerprints) == 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import NonTerminationError, SimulationError
 from repro.graphs.generators import classic
 from repro.local import (
     BallCollectionAlgorithm,
@@ -142,6 +142,13 @@ def test_round_limit_reported_as_unfinished():
 def test_round_limit_raises_in_strict_mode():
     with pytest.raises(SimulationError, match="max_rounds=5"):
         run_node_algorithm(classic.path(3), NeverFinishes, max_rounds=5, strict=True)
+
+
+def test_round_limit_error_carries_structure():
+    with pytest.raises(NonTerminationError) as err:
+        run_node_algorithm(classic.path(3), NeverFinishes, max_rounds=5, strict=True)
+    assert err.value.rounds == 5
+    assert err.value.active == 3  # every node of the path still unfinished
 
 
 def test_strict_mode_passes_through_on_termination():

@@ -35,10 +35,16 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.corpus import STANDARD_INSTANCES, default_corpus, graph_digest
-from repro.serve import ColoringService, ServeClient, ServeConfig, ServeResponseError
+from repro.serve import (
+    ColoringService,
+    ServeClient,
+    ServeConfig,
+    ServeDeadlineError,
+    ServeResponseError,
+)
 from repro.serve.cache import ResultCache
 from repro.serve.executor import JobSpec, compute_job, execute_jobs
-from repro.serve.protocol import ServeError, canonical_params
+from repro.serve.protocol import ServeError, canonical_params, encode_line
 from repro.verify.coloring import PaletteBudgetOracle, ProperColoringOracle
 
 pytestmark = pytest.mark.serve
@@ -409,6 +415,135 @@ def test_clique_dichotomy_surfaces_as_structured_error(small_service):
 
 
 # ---------------------------------------------------------------------------
+# client retry: backoff through drops/drains, bounded attempts, deadlines
+# ---------------------------------------------------------------------------
+
+async def _flaky_server(behaviour):
+    """An asyncio server whose per-connection behaviour a test scripts.
+
+    ``behaviour(connection_index, reader, writer)`` decides what each
+    accepted connection does; returns ``(server, host, port, counter)``.
+    """
+    counter = {"connections": 0}
+
+    async def handler(reader, writer):
+        counter["connections"] += 1
+        try:
+            await behaviour(counter["connections"], reader, writer)
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port, counter
+
+
+def test_client_retries_through_draining_connections():
+    # the first two connections hang up after reading the request — the
+    # shape a draining/restarting server presents — the third one answers
+    async def behaviour(index, reader, writer):
+        await reader.readline()
+        if index <= 2:
+            return  # close without answering: client sees EOF
+        writer.write(encode_line({"ok": True, "pong": True}))
+        await writer.drain()
+
+    async def body():
+        server, host, port, counter = await _flaky_server(behaviour)
+        try:
+            client = ServeClient(
+                host, port, retries=3, backoff_base=0.01, jitter_seed=7
+            )
+            response = await client.ping()
+            assert response["pong"] is True
+            assert counter["connections"] == 3
+            await client.aclose()
+        finally:
+            server.close()
+            await server.wait_closed()
+        return True
+
+    assert run_async(body())
+
+
+def test_client_retry_budget_is_bounded():
+    # a server that always drains: the client must give up after exactly
+    # retries + 1 attempts with a ConnectionError, not loop forever
+    async def behaviour(index, reader, writer):
+        await reader.readline()
+
+    async def body():
+        server, host, port, counter = await _flaky_server(behaviour)
+        try:
+            client = ServeClient(
+                host, port, retries=2, backoff_base=0.01, jitter_seed=11
+            )
+            with pytest.raises(ConnectionError):
+                await client.ping()
+            assert counter["connections"] == 3
+            await client.aclose()
+        finally:
+            server.close()
+            await server.wait_closed()
+        return True
+
+    assert run_async(body())
+
+
+def test_client_deadline_bounds_an_unresponsive_server():
+    # the server accepts and never answers; the per-request deadline must
+    # cut the exchange (and any backoff sleeps) with ServeDeadlineError
+    async def behaviour(index, reader, writer):
+        await reader.readline()
+        await asyncio.sleep(60)
+
+    async def body():
+        server, host, port, _counter = await _flaky_server(behaviour)
+        try:
+            client = ServeClient(
+                host, port, retries=5, backoff_base=0.05,
+                deadline=0.4, jitter_seed=3,
+            )
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            with pytest.raises(ServeDeadlineError):
+                await client.ping()
+            assert loop.time() - start < 10.0
+            await client.aclose()
+        finally:
+            server.close()
+            await server.wait_closed()
+        return True
+
+    assert run_async(body())
+
+
+def test_client_retry_covers_real_server_drain(small_service):
+    # against the real in-process service: shutdown answers, then drains;
+    # the retried follow-up surfaces a bounded structured failure, no hang
+    async def body(service, host, port):
+        client = ServeClient(
+            host, port, retries=2, backoff_base=0.01,
+            deadline=15.0, jitter_seed=5,
+        )
+        assert (await client.ping())["pong"] is True
+        response = await client.shutdown()
+        assert response["ok"] is True
+        # the shutdown op responds before tripping the event (call_soon),
+        # so one more request may slip through the race — poll until the
+        # drain takes effect, then the retried request must fail bounded
+        with pytest.raises((ConnectionError, ServeDeadlineError)):
+            for _ in range(100):
+                await client.request({"op": "ping"})
+                await asyncio.sleep(0.02)
+            raise AssertionError("server never drained")
+        await client.aclose()
+        return True
+
+    assert run_async(_with_service(small_service, body))
+
+
+# ---------------------------------------------------------------------------
 # worker-crash degradation in the executor itself (real process pool)
 # ---------------------------------------------------------------------------
 
@@ -443,6 +578,18 @@ def test_pool_worker_death_degrades_batch_to_inline_retry():
             assert payload.get("error") is None, payload
             assert payload["valid"] is True
         assert payloads[0]["coloring_digest"] == payloads[2]["coloring_digest"]
+        # degradation keeps digest consistency: the inline-retried payloads
+        # are bit-identical to a healthy (pool-free) run of the same jobs
+        healthy = compute_job(handle, "greedy", {})
+        assert payloads[0]["coloring_digest"] == healthy["coloring_digest"]
+        assert payloads[0]["graph_digest"] == healthy["graph_digest"] == handle.digest
+        # ... and a crash-free pooled batch over the same shm handle agrees
+        clean = execute_jobs(
+            [JobSpec(handle, "greedy", {}), JobSpec(handle, "greedy", {})],
+            workers=2,
+        )
+        assert all(p.get("error") is None for p in clean), clean
+        assert {p["coloring_digest"] for p in clean} == {healthy["coloring_digest"]}
     finally:
         shared.release(handle.digest)
 

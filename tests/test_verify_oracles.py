@@ -11,21 +11,31 @@ oracle rejects it and the diagnostic names the corruption.
 
 import pytest
 
-from repro.coloring import random_lists, uniform_lists
+from repro.coloring import degeneracy_greedy_coloring, random_lists, uniform_lists
 from repro.core import color_sparse_graph
 from repro.distributed import h_partition, ruling_forest
+from repro.distributed.stabilizing import STABILIZING_PROTOCOLS
 from repro.errors import VerificationError
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    PerturbableNetwork,
+    palette_bound,
+    run_stabilizing,
+)
 from repro.graphs.generators import classic, sparse
 from repro.local import run_node_algorithm
 from repro.local.node import BatchNodeAlgorithm, NodeAlgorithm
 from repro.verify import (
     CliqueWitnessOracle,
+    ContainmentOracle,
     DichotomyOracle,
     HPartitionOracle,
     ListColoringOracle,
     LocalityOracle,
     PaletteBudgetOracle,
     ProperColoringOracle,
+    RecoveryOracle,
     RoundEnvelopeOracle,
     RulingForestOracle,
     SimulationParityOracle,
@@ -417,3 +427,157 @@ def test_locality_auditor_passes_honest_program():
     graph = classic.path(30)
     report = audit_locality(graph, _HonestConstant, vertices=[0, 7, 29])
     assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# recovery + containment oracles reject doctored stabilization traces
+# ---------------------------------------------------------------------------
+
+def _stabilization_trace():
+    """A fresh, deterministic dynamic-run witness to tamper with.
+
+    One corrupt-color fault at round 2 on a 30-path: the conflict takes
+    two rounds to resolve (records with conflicts > 0 and legal=False
+    exist), then the run quiesces.  Rebuilt per test — mutations below
+    edit the records in place.
+    """
+    graph = classic.path(30)
+    initial = degeneracy_greedy_coloring(graph)
+    plan = FaultPlan(
+        events=(FaultEvent(2, "corrupt-color", (5,), value=initial[4]),),
+        seed=0,
+    )
+    per_node, _batched = STABILIZING_PROTOCOLS["min-plus-one"]
+    trace = run_stabilizing(
+        PerturbableNetwork(graph, backend="dict"),
+        per_node,
+        plan=plan,
+        budget=palette_bound(graph, plan),
+        initial_coloring=initial,
+        max_rounds=50,
+        protocol="min-plus-one",
+    )
+    assert trace.quiescent  # precondition for every mutation below
+    return trace
+
+
+def test_recovery_oracle_accepts_genuine_trace():
+    trace = _stabilization_trace()
+    assert RecoveryOracle().check(trace=trace).ok
+    assert ContainmentOracle().check(trace=trace).ok
+
+
+def test_recovery_oracle_rejects_log_hiding_illegal_coloring():
+    # the fault round really left an illegal coloring; whitewash the flag
+    trace = _stabilization_trace()
+    dirty = next(r for r in trace.records if not r.legal)
+    dirty.legal = True
+    verdict = RecoveryOracle().check(trace=trace)
+    assert not verdict.ok
+    assert any("misstates" in d for d in verdict.diagnostics)
+
+
+def test_recovery_oracle_rejects_understated_conflicts():
+    trace = _stabilization_trace()
+    dirty = next(r for r in trace.records if r.conflicts > 0)
+    dirty.conflicts = 0
+    verdict = RecoveryOracle().check(trace=trace)
+    assert not verdict.ok
+    assert any("replay finds" in d for d in verdict.diagnostics)
+
+
+def test_recovery_oracle_rejects_hidden_recolor():
+    # drop a recorded recolor: the replayed deltas no longer reach the
+    # claimed final coloring (and intermediate conflict counts drift)
+    trace = _stabilization_trace()
+    dirty = next(r for r in trace.records if r.changes)
+    dirty.changes = ()
+    verdict = RecoveryOracle().check(trace=trace)
+    assert not verdict.ok
+    assert any(
+        "replay finds" in d or "disagrees" in d for d in verdict.diagnostics
+    )
+
+
+def test_recovery_oracle_rejects_noisy_quiescence_claim():
+    # quiescent runs must end silent: smuggle a (no-op) change into the
+    # final round and the claim no longer holds
+    trace = _stabilization_trace()
+    last = trace.records[-1]
+    last.changes = ((0, trace.final_coloring[0]),)
+    verdict = RecoveryOracle().check(trace=trace)
+    assert not verdict.ok
+    assert any("still changed" in d for d in verdict.diagnostics)
+
+
+def test_containment_oracle_rejects_out_of_cone_recolor():
+    # vertex 25 is 20 hops from the fault site; a round-3 recolor there
+    # cannot be caused by the round-2 perturbation
+    trace = _stabilization_trace()
+    record = next(r for r in trace.records if r.round == 3)
+    record.changes = record.changes + ((25, trace.final_coloring[25]),)
+    verdict = ContainmentOracle().check(trace=trace)
+    assert not verdict.ok
+    assert any("causal cone" in d for d in verdict.diagnostics)
+
+
+def test_containment_oracle_enforces_declared_radius_bound():
+    trace = _stabilization_trace()
+    assert ContainmentOracle().check(trace=trace, radius_bound=5).ok
+    verdict = ContainmentOracle().check(trace=trace, radius_bound=0)
+    assert not verdict.ok
+    assert any("exceeds the declared" in d for d in verdict.diagnostics)
+
+
+def _dynamic_artifact():
+    return {
+        "schema_version": 1,
+        "name": "dynamic",
+        "generated_at": 0.0,
+        "metadata": {
+            "scenario": {"name": "dynamic", "paper_ref": "dynamic graphs"}
+        },
+        "rows": [
+            {
+                "instance": "planar n=36 faults=corrupt",
+                "algorithm": "min-plus-one [dict]",
+                "metrics": {
+                    "rounds": 9,
+                    "quiescent": True,
+                    "legal": True,
+                    "rounds_to_recovery": 2,
+                    "recovered": True,
+                    "recolored_vertices": 3,
+                    "containment_radius": 1,
+                    "containment_violations": 0,
+                    "recovery_cap": 400,
+                    "containment_bound": 400,
+                },
+                "seconds": 0.1,
+            },
+        ],
+    }
+
+
+def test_artifact_recovery_oracle_rejects_corrupted_dynamic_rows():
+    assert artifact_failures(_dynamic_artifact()) == []
+
+    noisy = _dynamic_artifact()
+    noisy["rows"][0]["metrics"]["quiescent"] = False
+    assert any("silent state" in f for f in artifact_failures(noisy))
+
+    unrecovered = _dynamic_artifact()
+    unrecovered["rows"][0]["metrics"].update(recovered=False, rounds_to_recovery=-1)
+    assert any("never recovered" in f for f in artifact_failures(unrecovered))
+
+    leaky = _dynamic_artifact()
+    leaky["rows"][0]["metrics"]["containment_violations"] = 3
+    assert any("causal cone" in f for f in artifact_failures(leaky))
+
+    slow = _dynamic_artifact()
+    slow["rows"][0]["metrics"]["rounds_to_recovery"] = 401
+    assert any("exceeds the cap" in f for f in artifact_failures(slow))
+
+    wide = _dynamic_artifact()
+    wide["rows"][0]["metrics"]["containment_radius"] = 500
+    assert any("exceeds" in f for f in artifact_failures(wide))
