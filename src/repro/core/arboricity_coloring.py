@@ -28,7 +28,7 @@ def color_bounded_arboricity_graph(
     lists: ListAssignment | None = None,
     radius: int | None = None,
     verify: bool = True,
-    backend: str = "dict",
+    backend: str = "flat",
 ) -> SparseColoringResult:
     """Color a graph of arboricity ``a >= 2`` with ``2a`` (listed) colors.
 

@@ -65,7 +65,7 @@ def extend_coloring_to_happy_set(
     radius: int,
     d: int,
     ledger: RoundLedger | None = None,
-    backend: str = "dict",
+    backend: str = "flat",
 ) -> tuple[dict[Vertex, Color], ExtensionReport]:
     """Extend ``coloring`` (defined on ``graph`` minus ``happy``) to all of ``graph``.
 

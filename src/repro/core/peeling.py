@@ -71,7 +71,7 @@ def peel_happy_layers(
     slack_fn=None,
     rich_fn=None,
     max_layers: int | None = None,
-    backend: str = "dict",
+    backend: str = "flat",
 ) -> PeelingResult:
     """Peel happy sets until the graph is empty.
 

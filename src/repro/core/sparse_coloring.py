@@ -75,7 +75,7 @@ def color_sparse_graph(
     radius: int | None = None,
     verify: bool = True,
     clique_check: bool = True,
-    backend: str = "dict",
+    backend: str = "flat",
 ) -> SparseColoringResult:
     """Run the Theorem 1.3 algorithm.
 

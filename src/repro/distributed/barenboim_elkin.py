@@ -42,6 +42,7 @@ Two substrates implement the procedure:
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 
 from repro.coloring.assignment import Color
@@ -233,14 +234,18 @@ def _h_partition_flat(graph, arboricity: int, epsilon: float) -> HPartition:
 
 
 def barenboim_elkin_coloring(
-    graph: Graph, arboricity: int, epsilon: float = 1.0, backend: str = "dict"
+    graph: Graph, arboricity: int, epsilon: float = 1.0, backend: str = "flat",
+    *, strict_backend: bool = False,
 ) -> BarenboimElkinResult:
     """Color ``graph`` with ``floor((2+ε)a) + 1`` colors (Barenboim–Elkin).
 
     ``backend="flat"`` runs the H-partition, the per-class slot coloring
     and the slot-selection phase on the flat substrate (see the module
-    docstring); without numpy it transparently degrades to the dict
-    backend.
+    docstring).  When the flat path cannot run — numpy is missing, or the
+    palette ``floor((2+ε)a)+1`` is too wide for the int64 slot kernel —
+    the dict backend takes over with a :class:`RuntimeWarning` so perf
+    measurements never silently compare the wrong substrate; pass
+    ``strict_backend=True`` to get a :class:`ValueError` instead.
     """
     if backend not in ("dict", "flat"):
         raise ValueError(f"unknown backend {backend!r}; use 'dict' or 'flat'")
@@ -248,8 +253,26 @@ def barenboim_elkin_coloring(
         not HAS_NUMPY
         or int(math.floor((2.0 + epsilon) * arboricity)) + 1 >= 62
     ):
-        # no numpy, or a palette too wide for the int64 slot kernel:
-        # the dict backend is the fallback
+        reason = (
+            "numpy is not available"
+            if not HAS_NUMPY
+            else (
+                f"palette floor((2+{epsilon:g})*{arboricity})+1 = "
+                f"{int(math.floor((2.0 + epsilon) * arboricity)) + 1} "
+                "exceeds the int64 slot kernel's 61-color limit"
+            )
+        )
+        if strict_backend:
+            raise ValueError(
+                f"backend='flat' cannot run: {reason}; pass backend='dict' "
+                "or drop strict_backend"
+            )
+        warnings.warn(
+            f"barenboim_elkin_coloring: falling back to backend='dict' "
+            f"({reason})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         backend = "dict"
     ledger = RoundLedger()
     if graph.number_of_vertices() == 0:

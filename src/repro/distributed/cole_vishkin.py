@@ -176,9 +176,18 @@ class BatchColeVishkinForestColoring(BatchNodeAlgorithm):
     step, so rounds, message counts and outputs are bit-identical to the
     per-node run — the parity tests assert this.  Every round broadcasts one
     integer per directed edge slot, exactly like the per-node protocol.
+
+    The program runs in ``"broadcast"`` exchange mode: ``send_batch``
+    returns the per-node value and the engine's fused kernel delivers it.
+    ``receive_broadcast`` consumes the per-node array directly — a node
+    only ever reads its parent's broadcast (one gather by the precomputed
+    parent index) except in the recolor rounds, which reduce over the full
+    neighbourhood; ``receive_batch`` keeps the historical per-slot inbox
+    path alive as the unfused reference (``reference_exchange=True``).
     """
 
     fallback = ColeVishkinForestColoring
+    exchange_mode = "broadcast"
 
     def initialize_batch(self, context: BatchContext) -> None:
         import numpy as np
@@ -189,10 +198,29 @@ class BatchColeVishkinForestColoring(BatchNodeAlgorithm):
         self._src = context.sources
         self.colors = context.identifiers.copy()
         # 0 encodes "root" (identifiers start at 1)
-        self.parent_ids = np.array(
-            [0 if p is None else int(p) for p in context.inputs], dtype=np.int64
-        )
+        inputs = context.inputs
+        if isinstance(inputs, np.ndarray):
+            self.parent_ids = inputs.astype(np.int64, copy=False)
+        else:
+            self.parent_ids = np.fromiter(
+                (0 if p is None else int(p) for p in inputs),
+                dtype=np.int64,
+                count=n,
+            )
         self.parent_slot = np.full(n, -1, dtype=np.int64)
+        self._has_parent = None
+        self._parent_index = None
+        self._root_index = None
+        # reduceat starts when no segment is empty (the common case); the
+        # general segment_reduce handles isolated vertices
+        self._reduce_starts = (
+            context.offsets[:-1]
+            if n and int(context.degrees.min()) > 0
+            else None
+        )
+        # colors are < 6 throughout the reduce phase: shift-down rotation
+        # ((c + 1) % 3 if c < 3 else 0) as one table gather
+        self._rotate = np.array([1, 2, 0, 0, 0, 0], dtype=np.int64)
         # the iteration count must come from the *announced* n (known_n), not
         # the array length: on a truncated r-ball network the two differ and
         # every node must still run the schedule of the full network
@@ -207,8 +235,19 @@ class BatchColeVishkinForestColoring(BatchNodeAlgorithm):
 
     def send_batch(self, round_number: int):
         if self.phase == "discover":
-            return self.context.identifiers[self._src]
-        return self.colors[self._src]
+            return self.context.identifiers
+        return self.colors
+
+    def _finish_discover(self) -> None:
+        np = self._np
+        self._has_parent = self.parent_slot >= 0
+        # node index of each node's parent (0 where rootless; masked by
+        # _has_parent / _root_index everywhere it is read)
+        self._parent_index = self.context.endpoints[
+            np.maximum(self.parent_slot, 0)
+        ]
+        self._root_index = np.flatnonzero(~self._has_parent)
+        self.phase = "cv"
 
     def _parent_colors(self, inbox):
         """Per-node parent color; roots pretend bit 0 of their own differs."""
@@ -216,43 +255,88 @@ class BatchColeVishkinForestColoring(BatchNodeAlgorithm):
         pretend = self.colors ^ 1
         if inbox.size == 0:  # edgeless network: everyone is a root
             return pretend
-        has_parent = self.parent_slot >= 0
         return np.where(
-            has_parent, inbox[np.maximum(self.parent_slot, 0)], pretend
+            self._has_parent, inbox[np.maximum(self.parent_slot, 0)], pretend
         )
+
+    def _parent_colors_from_nodes(self, node_colors):
+        """Like :meth:`_parent_colors`, but one gather by parent node index.
+
+        ``inbox[parent_slot] == node_colors[endpoints[parent_slot]]`` — the
+        per-slot inbox never needs to exist to read the parent's broadcast.
+        Roots (typically a handful) are patched in place instead of paying
+        a full-width ``where``.
+        """
+        if self.context.num_slots == 0:  # edgeless: everyone is a root
+            return self.colors ^ 1
+        parent = node_colors[self._parent_index]
+        roots = self._root_index
+        if roots.size:
+            parent[roots] = self.colors[roots] ^ 1
+        return parent
+
+    def receive_broadcast(self, round_number: int, node_values) -> None:
+        np = self._np
+        if self.phase == "discover":
+            inbox = node_values[self.context.endpoints]
+            hits = np.flatnonzero(inbox == self.parent_ids[self._src])
+            self.parent_slot[self._src[hits]] = hits
+            self._finish_discover()
+            return
+        if self.phase == "cv":
+            self._cv_step(self._parent_colors_from_nodes(node_values))
+            return
+        if self.reduction_stage == "shift":
+            self._shift_step(self._parent_colors_from_nodes(node_values))
+            return
+        self._recolor_step(node_values[self.context.endpoints])
 
     def receive_batch(self, round_number: int, inbox, delivered) -> None:
         np = self._np
         if self.phase == "discover":
             hits = np.flatnonzero(inbox == self.parent_ids[self._src])
             self.parent_slot[self._src[hits]] = hits
-            self.phase = "cv"
+            self._finish_discover()
             return
-
         if self.phase == "cv":
-            parent = self._parent_colors(inbox)
-            diff = self.colors ^ parent
-            low = diff & -diff  # diff >= 1: the coloring stays proper
-            index = np.log2(low.astype(np.float64)).astype(np.int64)
-            self.colors = 2 * index + ((self.colors >> index) & 1)
-            self.cv_done += 1
-            if self.cv_done >= self.cv_iterations:
-                self.phase = "reduce"
-                self.reduction_stage = "shift"
+            self._cv_step(self._parent_colors(inbox))
             return
-
-        # reduce phase, mirroring the per-node shift/recolor pair
         if self.reduction_stage == "shift":
-            has_parent = self.parent_slot >= 0
-            rotated = np.where(self.colors < 3, (self.colors + 1) % 3, 0)
-            self.colors = np.where(
-                has_parent, self._parent_colors(inbox), rotated
-            )
-            self.reduction_stage = "recolor"
+            self._shift_step(self._parent_colors(inbox))
             return
-        used = segment_reduce(
-            np.bitwise_or, 1 << inbox, self.context.offsets, empty=0
-        )
+        self._recolor_step(inbox)
+
+    def _cv_step(self, parent) -> None:
+        np = self._np
+        diff = self.colors ^ parent
+        low = diff & -diff  # diff >= 1: the coloring stays proper
+        index = np.log2(low.astype(np.float64)).astype(np.int64)
+        self.colors = 2 * index + ((self.colors >> index) & 1)
+        self.cv_done += 1
+        if self.cv_done >= self.cv_iterations:
+            self.phase = "reduce"
+            self.reduction_stage = "shift"
+
+    def _shift_step(self, parent) -> None:
+        roots = self._root_index
+        if roots.size == self.colors.size:
+            self.colors = self._rotate[self.colors]
+        else:
+            colors = parent if parent is not self.colors else parent.copy()
+            if roots.size:
+                colors[roots] = self._rotate[self.colors[roots]]
+            self.colors = colors
+        self.reduction_stage = "recolor"
+
+    def _recolor_step(self, inbox) -> None:
+        np = self._np
+        starts = self._reduce_starts
+        if starts is not None:
+            used = np.bitwise_or.reduceat(1 << inbox, starts)
+        else:
+            used = segment_reduce(
+                np.bitwise_or, 1 << inbox, self.context.offsets, empty=0
+            )
         free = self._free_color[used & 7]
         self.colors = np.where(
             self.colors == self.reduction_target, free, self.colors
@@ -268,7 +352,7 @@ class BatchColeVishkinForestColoring(BatchNodeAlgorithm):
         return self.done
 
     def results_batch(self) -> list[int]:
-        return [int(c) for c in self.colors]
+        return self.colors.tolist()
 
 
 def color_rooted_forest(

@@ -91,12 +91,30 @@ class BatchGreedyLocalMaximaAlgorithm(BatchNodeAlgorithm):
 
     The color-set bit trick needs ``Δ + 1 < 63``; wider palettes decline
     :meth:`can_run` and fall back to the per-node program transparently.
+
+    The program runs in ``"broadcast"`` exchange mode and
+    ``receive_broadcast`` adds *active-set compaction*: only uncolored
+    nodes can change state, so once fewer than half the nodes remain
+    uncolored the rival/used reductions run over just the active nodes'
+    slots (:func:`repro.local.kernels.compact_segments`) instead of the
+    whole fabric.  The decision rule — and hence every output, round and
+    message count — is identical to the dense path, which
+    ``receive_batch`` keeps alive as the unfused reference.
     """
 
     fallback = GreedyLocalMaximaAlgorithm
+    exchange_mode = "broadcast"
 
     def can_run(self, context: BatchContext) -> bool:
-        max_degree = max((int(x) for x in context.inputs if x is not None), default=0)
+        import numpy as np
+
+        inputs = context.inputs
+        if isinstance(inputs, np.ndarray):
+            max_degree = int(inputs.max()) if inputs.size else 0
+        else:
+            max_degree = max(
+                (int(x) for x in inputs if x is not None), default=0
+            )
         return max_degree + 1 < 63
 
     def initialize_batch(self, context: BatchContext) -> None:
@@ -108,9 +126,72 @@ class BatchGreedyLocalMaximaAlgorithm(BatchNodeAlgorithm):
         self.colors = np.zeros(context.n, dtype=np.int64)  # 0 = uncolored
         self.nbr_ids = context.identifiers[context.endpoints]
         self.done = context.n == 0
+        self._active = None  # uncolored node indices once compaction kicks in
 
     def send_batch(self, round_number: int):
-        return self.colors[self._src]
+        return self.colors
+
+    def _commit(self, active, eligible, free) -> None:
+        """Color the eligible active nodes and refresh the active set."""
+        winners = active[eligible]
+        self.colors[winners] = free[eligible]
+        remaining = active[~eligible]
+        self._active = remaining
+        self.done = remaining.size == 0
+
+    def receive_broadcast(self, round_number: int, node_values) -> None:
+        from repro.local import kernels
+
+        np = self._np
+        context = self.context
+        active = self._active
+        if active is None and 2 * int((self.colors == 0).sum()) > context.n:
+            # dense round: reduce over the whole fabric (same arithmetic as
+            # receive_batch, minus the inbox materialization)
+            inbox = node_values[context.endpoints]
+            uncolored = self.colors == 0
+            rival = segment_reduce(
+                np.maximum,
+                np.where(inbox == 0, self.nbr_ids, 0),
+                context.offsets,
+                empty=0,
+            )
+            eligible_mask = uncolored & (context.identifiers > rival)
+            used = segment_reduce(
+                np.bitwise_or,
+                np.where(inbox > 0, 1 << inbox, 0),
+                context.offsets,
+                empty=0,
+            ) | 1
+            free = lowest_free_bit(used)
+            self.colors = np.where(eligible_mask, free, self.colors)
+            still = np.flatnonzero(self.colors == 0)
+            if 2 * still.size <= context.n:
+                self._active = still
+            self.done = still.size == 0
+            return
+        if active is None:
+            active = np.flatnonzero(self.colors == 0)
+        # compact round: gather only the active nodes' neighbourhoods
+        slots, compact_offsets = kernels.compact_segments(
+            context.offsets, active
+        )
+        nbr_colors = node_values[context.endpoints[slots]]
+        rival = segment_reduce(
+            np.maximum,
+            np.where(nbr_colors == 0, self.nbr_ids[slots], 0),
+            compact_offsets,
+            empty=0,
+        )
+        eligible = context.identifiers[active] > rival
+        used = segment_reduce(
+            np.bitwise_or,
+            np.where(nbr_colors > 0, 1 << nbr_colors, 0),
+            compact_offsets,
+            empty=0,
+        ) | 1
+        free = lowest_free_bit(used)
+        self._commit(active, eligible, free)
 
     def receive_batch(self, round_number: int, inbox, delivered) -> None:
         np = self._np
@@ -136,7 +217,7 @@ class BatchGreedyLocalMaximaAlgorithm(BatchNodeAlgorithm):
         return self.done
 
     def results_batch(self) -> list[int]:
-        return [int(c) for c in self.colors]
+        return self.colors.tolist()
 
 
 def greedy_distributed_coloring(

@@ -156,9 +156,16 @@ class BatchMinPlusOneRecoloring(BatchNodeAlgorithm):
     used-color bit trick needs the palette below 62, hence
     :meth:`can_run`; injected colors are clamped non-negative by the
     plan, so the packing stays order-preserving.
+
+    Broadcast exchange mode: ``send_batch`` returns the packed per-node
+    value and the engines deliver it with the fused endpoint gather
+    (``values[sources][reverse_slot] == values[endpoints]``); the faults
+    engine still materializes the per-slot inbox so drops and
+    duplications can edit individual slots before :meth:`receive_batch`.
     """
 
     fallback = MinPlusOneRecoloring
+    exchange_mode = "broadcast"
 
     def can_run(self, context: BatchContext) -> bool:
         budget = max(
@@ -196,7 +203,7 @@ class BatchMinPlusOneRecoloring(BatchNodeAlgorithm):
         return (self.colors.tobytes(), self.dirty.tobytes())
 
     def send_batch(self, round_number: int):
-        return (self.colors * 2 + self.dirty)[self._src]
+        return self.colors * 2 + self.dirty
 
     def receive_batch(self, round_number: int, inbox, delivered) -> None:
         np = self._np
@@ -234,7 +241,7 @@ class BatchMinPlusOneRecoloring(BatchNodeAlgorithm):
         return False
 
     def results_batch(self) -> list[int]:
-        return [int(c) for c in self.colors]
+        return self.colors.tolist()
 
 
 class StabilizingGreedyAlgorithm(StabilizingNodeAlgorithm):
@@ -273,10 +280,12 @@ class BatchStabilizingGreedy(BatchNodeAlgorithm):
     Raw colors travel on the slots (0 = uncolored); dropped slots are
     encoded as -1 so a lost message is distinguishable from a genuine
     "I am uncolored" broadcast — losing that broadcast is precisely how
-    message faults perturb the greedy repair.
+    message faults perturb the greedy repair.  Broadcast exchange mode,
+    like :class:`BatchMinPlusOneRecoloring`.
     """
 
     fallback = StabilizingGreedyAlgorithm
+    exchange_mode = "broadcast"
 
     def can_run(self, context: BatchContext) -> bool:
         budget = max(
@@ -312,7 +321,7 @@ class BatchStabilizingGreedy(BatchNodeAlgorithm):
         return (self.colors.tobytes(),)
 
     def send_batch(self, round_number: int):
-        return self.colors[self._src]
+        return self.colors
 
     def receive_batch(self, round_number: int, inbox, delivered) -> None:
         np = self._np
@@ -352,7 +361,7 @@ class BatchStabilizingGreedy(BatchNodeAlgorithm):
         return False
 
     def results_batch(self) -> list[int]:
-        return [int(c) for c in self.colors]
+        return self.colors.tolist()
 
 
 #: protocol name -> (per-node factory, batched factory); the scenario's

@@ -1,0 +1,150 @@
+"""Wave 2-coloring of a rooted path: the Ω(n) lower-bound workload.
+
+Observation 2.4 / Theorem 1.5 territory: 2-coloring a path (and
+4-coloring a planar graph) needs Ω(n) rounds, so any experiment that
+wants to *show* the linear-round regime needs a protocol whose round
+count genuinely is ``n`` — and a simulator that can afford n = 10^5
+rounds.  The wave protocol is the minimal such workload: the root
+colors itself 0 and broadcasts once; a node that first hears a color
+``c`` at distance ``d`` adopts ``1 - c`` (i.e. ``d mod 2``) and
+broadcasts once the next round.  The wavefront advances one hop per
+round: exactly ``n`` rounds and one broadcast per node (``2(n-1)``
+directed messages on a path) to 2-color the whole path.
+
+Per-round work is O(frontier), not O(n): the batched program runs in
+the engine's ``"active"`` exchange mode (:mod:`repro.local.node`),
+sending only the frontier's slots, which is what makes an Ω(n)-round
+simulation at n = 10^5 tractable — the per-node twin (and the seed
+engine) spend Θ(n) per round just asking silent nodes for messages, so
+the ``simulator`` scenario runs the large-n lower-bound rows on the
+batched engine only, with cross-engine parity pinned at small n by the
+test suite.
+
+The protocol works on any tree (colors = distance parity from the
+root); nodes unreachable from a root never finish, exactly like a
+quiescence property should fail on a disconnected instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.local.node import BatchContext, BatchNodeAlgorithm, NodeAlgorithm, NodeContext
+
+__all__ = ["WaveTwoColoring", "BatchWaveTwoColoring"]
+
+
+class WaveTwoColoring(NodeAlgorithm):
+    """Per-node wave program.
+
+    Input: truthy marks the root(s).  Output: color in ``{0, 1}``.
+    A node broadcasts its color exactly once, in the round after it was
+    colored; on multiple simultaneous deliveries the lowest port wins
+    (the batched twin replays the same tie-break).
+    """
+
+    def initialize(self, context: NodeContext) -> None:
+        super().initialize(context)
+        root = bool(context.input)
+        self.color: int = 0 if root else -1
+        self.pending: bool = root  # colored, broadcast still owed
+        self.spoke: bool = False  # the one broadcast has happened
+
+    def send(self, round_number: int) -> dict[int, Any]:
+        if not self.pending:
+            return {}
+        return {port: self.color for port in range(self.context.degree)}
+
+    def receive(self, round_number: int, messages: dict[int, Any]) -> None:
+        if self.pending:
+            self.pending = False
+            self.spoke = True
+        if self.color < 0 and messages:
+            self.color = 1 - messages[min(messages)]
+            self.pending = True
+
+    def is_finished(self) -> bool:
+        return self.color >= 0 and self.spoke and not self.pending
+
+    def result(self) -> int:
+        return self.color
+
+
+class BatchWaveTwoColoring(BatchNodeAlgorithm):
+    """Batched wave in ``"active"`` exchange mode.
+
+    ``send_batch`` returns only the frontier's ``(slots, values)``; the
+    engine charges ``len(slots)`` messages and hands the destinations to
+    :meth:`receive_active`.  Rounds, per-round message counts and colors
+    are identical to the per-node program.
+    """
+
+    fallback = WaveTwoColoring
+    exchange_mode = "active"
+
+    def initialize_batch(self, context: BatchContext) -> None:
+        import numpy as np
+
+        super().initialize_batch(context)
+        self._np = np
+        n = context.n
+        inputs = context.inputs
+        if isinstance(inputs, np.ndarray):
+            roots = np.flatnonzero(inputs != 0)
+        else:
+            roots = np.array(
+                [i for i, x in enumerate(inputs) if x], dtype=np.int64
+            )
+        self.colors = np.full(n, -1, dtype=np.int64)
+        self.colors[roots] = 0
+        self._front = roots
+        self._uncolored = n - roots.size
+        self.done = n == 0
+
+    def _front_slots(self, front):
+        """The frontier's outgoing ``(slots, values)`` pair."""
+        np = self._np
+        offsets = self.context.offsets
+        degrees = self.context.degrees
+        starts = offsets[front]
+        counts = degrees[front]
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        bounds = np.cumsum(counts)
+        slots = np.repeat(starts - (bounds - counts), counts)
+        slots += np.arange(total, dtype=np.int64)
+        values = np.repeat(self.colors[front], counts)
+        return slots, values
+
+    def send_batch(self, round_number: int):
+        if self._front.size == 0:
+            return None
+        return self._front_slots(self._front)
+
+    def receive_active(self, round_number: int, dest_slots, values) -> None:
+        np = self._np
+        if dest_slots is None or len(dest_slots) == 0:
+            newly = np.empty(0, dtype=np.int64)
+        else:
+            # inbox slots of a node are contiguous and port-ordered, so
+            # sorting by destination slot groups receivers and puts the
+            # lowest port first — the per-node tie-break
+            order = np.argsort(dest_slots, kind="stable")
+            receivers = self.context.sources[dest_slots[order]]
+            arriving = values[order]
+            first = np.ones(receivers.size, dtype=bool)
+            first[1:] = receivers[1:] != receivers[:-1]
+            take = first & (self.colors[receivers] < 0)
+            newly = receivers[take]
+            self.colors[newly] = 1 - arriving[take]
+        self._front = newly
+        self._uncolored -= newly.size
+        self.done = newly.size == 0 and self._uncolored == 0
+
+    def is_finished_batch(self) -> bool:
+        return self.done
+
+    def results_batch(self) -> list[int]:
+        return self.colors.tolist()

@@ -43,6 +43,7 @@ from repro.faults.network import PerturbableNetwork
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.graphs.frozen import HAS_NUMPY
 from repro.graphs.graph import Vertex
+from repro.local import kernels
 from repro.local.node import BatchContext, BatchNodeAlgorithm, NodeContext
 
 __all__ = [
@@ -432,15 +433,14 @@ class _BatchedStabilizer:
         return self._ready
 
     def _context(self) -> BatchContext | None:
-        np = self._np
         network = self.pnet.network
         fabric = network.fabric
         if not fabric.has_numpy:
             return None
         return BatchContext(
             n=fabric.n,
-            identifiers=np.asarray(network.identifiers_list, dtype=np.int64),
-            degrees=np.asarray(fabric.degrees, dtype=np.int64),
+            identifiers=network.identifiers_np,
+            degrees=fabric.degrees_np,
             offsets=fabric.offsets_np,
             endpoints=fabric.endpoints_np,
             reverse_slot=fabric.reverse_np,
@@ -469,14 +469,24 @@ class _BatchedStabilizer:
         np = self._np
         fabric = self.pnet.network.fabric
         values = self.program.send_batch(round_number)
-        inbox = values[fabric.reverse_np]
+        if type(self.program).exchange_mode == "broadcast":
+            # per-node broadcast values: the fused kernel delivers them in
+            # one endpoint gather, and the payload of any (src, dst) pair
+            # is just values[src] — no slot lookup needed for captures
+            inbox = kernels.gather(values, fabric.endpoints_np)
+            captured = lambda src, slot: int(values[src])  # noqa: E731
+        else:
+            inbox = kernels.deliver_slots(values, fabric.reverse_np)
+            captured = lambda src, slot: int(  # noqa: E731
+                values[fabric.reverse_slot[slot]]
+            )
         delivered = None
         messages = fabric.num_slots
         next_dups: list[tuple[int, int, Any]] = []
         for src, dst in state.dup_pairs:
             slot = _slot_towards(fabric, dst, src)
             if slot is not None:
-                next_dups.append((src, dst, int(values[fabric.reverse_slot[slot]])))
+                next_dups.append((src, dst, captured(src, slot)))
         if state.drops or state.pending_dups:
             delivered = np.ones(fabric.num_slots, dtype=bool)
             for src, dst in state.drops:

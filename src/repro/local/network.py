@@ -74,6 +74,7 @@ class RoutingFabric:
     __slots__ = (
         "n", "num_slots", "offsets", "endpoints", "reverse_slot", "degrees",
         "offsets_np", "endpoints_np", "reverse_np", "has_numpy", "_sources_np",
+        "degrees_np",
     )
 
     def __init__(
@@ -108,6 +109,9 @@ class RoutingFabric:
             )
         else:  # pragma: no cover - exercised on numpy-less installs
             self.offsets_np = self.endpoints_np = self.reverse_np = None
+        self.degrees_np = (
+            _np.diff(self.offsets_np) if HAS_NUMPY else None
+        )
         self._sources_np = sources_np
 
     def sources_np(self):
@@ -119,7 +123,7 @@ class RoutingFabric:
         """
         if self._sources_np is None and self.has_numpy:
             self._sources_np = _np.repeat(
-                _np.arange(self.n, dtype=_np.int64), _np.diff(self.offsets_np)
+                _np.arange(self.n, dtype=_np.int64), self.degrees_np
             )
         return self._sources_np
 
@@ -222,6 +226,7 @@ class Network:
         self._fabric: RoutingFabric | None = None
         self._ports: dict[Vertex, list[Vertex]] | None = None
         self._port_of: dict[Vertex, dict[Vertex, int]] | None = None
+        self._identifiers_np = None
 
     # ------------------------------------------------------------------
     # Flat-array data plane
@@ -237,6 +242,15 @@ class Network:
         if self._fabric is None:
             self._fabric = self._build_fabric()
         return self._fabric
+
+    @property
+    def identifiers_np(self):
+        """``identifiers_list`` as a cached ``int64`` array (numpy only)."""
+        if self._identifiers_np is None and HAS_NUMPY:
+            self._identifiers_np = _np.asarray(
+                self.identifiers_list, dtype=_np.int64
+            )
+        return self._identifiers_np
 
     def _build_fabric(self) -> RoutingFabric:
         graph = self.graph
@@ -310,14 +324,37 @@ class Network:
     # Input translation
     # ------------------------------------------------------------------
     def translate_inputs(
-        self, inputs: Mapping[Vertex, Any] | None
+        self, inputs: Mapping[Vertex, Any] | Any | None
     ) -> dict[Vertex, Any]:
-        """Normalize per-vertex inputs (missing vertices get ``None``)."""
-        inputs = dict(inputs or {})
-        return {v: inputs.get(v) for v in self.graph}
+        """Normalize per-vertex inputs (missing vertices get ``None``).
 
-    def inputs_list(self, inputs: Mapping[Vertex, Any] | None) -> list[Any]:
-        """Per-node inputs by node index (missing vertices get ``None``)."""
-        if not inputs:
+        Accepts either a vertex-keyed mapping or a sequence/array aligned
+        with the node index order (``labels``) — the flat data plane hands
+        inputs around as arrays, the dict engines as mappings.
+        """
+        if inputs is None:
+            return {v: None for v in self.graph}
+        if isinstance(inputs, Mapping):
+            inputs = dict(inputs)
+            return {v: inputs.get(v) for v in self.graph}
+        if len(inputs) != len(self._order):
+            raise ValueError("sequence inputs must have one entry per vertex")
+        index = self._index
+        return {v: inputs[index[v]] for v in self.graph}
+
+    def inputs_list(self, inputs: Mapping[Vertex, Any] | Any | None):
+        """Per-node inputs by node index (missing vertices get ``None``).
+
+        Mapping inputs are spread by vertex label; sequence/array inputs
+        are taken as already index-aligned and returned as-is (arrays stay
+        arrays — the batched programs consume them zero-copy).
+        """
+        if inputs is None:
             return [None] * len(self._order)
-        return [inputs.get(v) for v in self._order]
+        if isinstance(inputs, Mapping):
+            if not inputs:
+                return [None] * len(self._order)
+            return [inputs.get(v) for v in self._order]
+        if len(inputs) != len(self._order):
+            raise ValueError("sequence inputs must have one entry per vertex")
+        return inputs

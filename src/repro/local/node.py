@@ -168,11 +168,44 @@ class BatchNodeAlgorithm:
     simulator transparently runs it when numpy is unavailable or
     :meth:`can_run` declines the instance (e.g. values too wide for the
     vectorized bit tricks).
+
+    Exchange modes
+    --------------
+    :attr:`exchange_mode` selects how :meth:`send_batch`'s return value is
+    routed (see :mod:`repro.local.kernels` for the fused delivery):
+
+    ``"slots"`` (default)
+        Per-slot payloads as described above.
+    ``"broadcast"``
+        Every port of a node carries the same value: :meth:`send_batch`
+        returns a *per-node* ``int64[n]`` array and the engine delivers it
+        with the single fused gather ``inbox = values[endpoints]``
+        (``sources[reverse_slot] == endpoints``).  A broadcast round always
+        counts ``num_slots`` messages, exactly like the per-node program
+        broadcasting on every port.  Programs may implement
+        ``receive_broadcast(round_number, node_values)`` to consume the
+        per-node array directly (skipping the inbox materialization when
+        only e.g. a parent's value is needed); the engine falls back to
+        materializing the inbox and calling :meth:`receive_batch` when the
+        method is absent, and the reference three-pass engine always takes
+        that unfused path.
+    ``"active"``
+        Sparse rounds: :meth:`send_batch` returns a ``(slots, values)``
+        pair listing only the slots that carry a message (``len(slots)``
+        messages are charged).  The engine maps them to destination slots
+        through ``reverse_slot`` and calls
+        ``receive_active(round_number, dest_slots, values)``.  This is how
+        wave-style Omega(n)-round protocols keep each round O(frontier)
+        instead of O(n).
     """
 
     #: Per-node factory the simulator falls back to when the batched path
     #: cannot run (numpy missing, or :meth:`can_run` returned False).
     fallback: ClassVar[Callable[[], NodeAlgorithm] | None] = None
+
+    #: How ``send_batch`` payloads are routed: "slots", "broadcast" or
+    #: "active" (see the class docstring).
+    exchange_mode: ClassVar[str] = "slots"
 
     def can_run(self, context: BatchContext) -> bool:
         """Whether the batched path supports this instance (default: yes)."""

@@ -29,7 +29,14 @@ The data plane runs on the network's flat-array routing fabric
 * a :class:`~repro.local.node.BatchNodeAlgorithm` opts into the fully
   vectorized path: one ``send_batch``/``receive_batch`` numpy-array
   exchange per round for all nodes at once, falling back transparently to
-  its per-node twin when numpy is unavailable.
+  its per-node twin when numpy is unavailable;
+* the batched exchange itself runs on the fused kernels of
+  :mod:`repro.local.kernels` — broadcast rounds are delivered with a
+  single gather by ``endpoints`` (instead of the historical send-gather +
+  reverse-permutation double pass), sparse "active" rounds route only the
+  frontier's slots, and per-slot rounds reuse preallocated inbox buffers.
+  ``run(..., reference_exchange=True)`` forces the unfused three-pass
+  delivery, kept as the oracle the parity tests pin the kernels against.
 
 Note that finished nodes still ``send`` and ``receive`` every round until
 the whole network terminates — protocols like the greedy baseline rely on
@@ -47,6 +54,7 @@ from typing import Any
 from repro.errors import NonTerminationError, SimulationError
 from repro.graphs.frozen import GraphLike, freeze
 from repro.graphs.graph import Vertex
+from repro.local import kernels
 from repro.local.network import Network
 from repro.local.node import (
     BatchContext,
@@ -55,7 +63,66 @@ from repro.local.node import (
     NodeContext,
 )
 
-__all__ = ["SimulationResult", "SynchronousSimulator", "run_node_algorithm"]
+__all__ = [
+    "LazyOutputs",
+    "SimulationResult",
+    "SynchronousSimulator",
+    "run_node_algorithm",
+]
+
+
+class LazyOutputs(Mapping):
+    """Per-vertex outputs materialized on first dict-style access.
+
+    The batched engine produces outputs as a label list plus a value
+    list; building the ``{label: value}`` dict eagerly costs more than a
+    whole fused round at n = 10^5.  This view defers that build until a
+    consumer actually indexes, iterates or compares it — oracles and
+    callers see a regular mapping (``Mapping`` supplies dict-equality in
+    both directions), and pure round/message measurements never pay for
+    it.
+    """
+
+    __slots__ = ("_labels", "_values", "_dict")
+
+    def __init__(self, labels, values):
+        self._labels = labels
+        self._values = values
+        self._dict: dict[Vertex, Any] | None = None
+
+    def _materialize(self) -> dict[Vertex, Any]:
+        if self._dict is None:
+            self._dict = dict(zip(self._labels, self._values))
+            self._labels = self._values = None
+        return self._dict
+
+    def __getitem__(self, key):
+        return self._materialize()[key]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        d = self._dict
+        return len(d) if d is not None else len(self._labels)
+
+    def __contains__(self, key) -> bool:
+        return key in self._materialize()
+
+    def keys(self):
+        return self._materialize().keys()
+
+    def items(self):
+        return self._materialize().items()
+
+    def values(self):
+        return self._materialize().values()
+
+    def get(self, key, default=None):
+        return self._materialize().get(key, default)
+
+    def __repr__(self) -> str:
+        return repr(self._materialize())
 
 
 @dataclass
@@ -67,7 +134,10 @@ class SimulationResult:
     rounds:
         Number of synchronous rounds executed.
     outputs:
-        Per-vertex outputs (keyed by the original vertex labels).
+        Per-vertex outputs (keyed by the original vertex labels).  The
+        batched engine returns a :class:`LazyOutputs` mapping view —
+        equal to and interchangeable with the eager dict of the per-node
+        engine, but built only when someone looks at it.
     messages_sent:
         Total number of messages delivered over the run.
     finished:
@@ -75,7 +145,7 @@ class SimulationResult:
     """
 
     rounds: int
-    outputs: dict[Vertex, Any]
+    outputs: Mapping[Vertex, Any]
     messages_sent: int
     finished: bool
     per_round_messages: list[int] = field(default_factory=list)
@@ -95,10 +165,12 @@ class SynchronousSimulator:
     def run(
         self,
         algorithm_factory: Callable[[], NodeAlgorithm | BatchNodeAlgorithm],
-        inputs: Mapping[Vertex, Any] | None = None,
+        inputs: Mapping[Vertex, Any] | Any | None = None,
         max_rounds: int = 10_000,
         strict: bool = False,
         debug: bool = False,
+        *,
+        reference_exchange: bool = False,
     ) -> SimulationResult:
         """Execute the algorithm until all nodes finish or ``max_rounds`` is hit.
 
@@ -115,10 +187,19 @@ class SynchronousSimulator:
         one comparison per message against the routing table); ``debug=True``
         upgrades the port errors to descriptive ones naming the vertex and
         its valid port range.
+
+        ``reference_exchange=True`` routes batched broadcast rounds through
+        the historical unfused three-pass delivery (send-gather by
+        ``sources`` + permutation by ``reverse_slot`` + ``receive_batch``)
+        instead of the fused kernels — the parity oracle for
+        :mod:`repro.local.kernels`.
         """
         probe = algorithm_factory()
         if isinstance(probe, BatchNodeAlgorithm):
-            return self._run_batched(probe, inputs, max_rounds, strict, debug)
+            return self._run_batched(
+                probe, inputs, max_rounds, strict, debug,
+                reference_exchange=reference_exchange,
+            )
         return self._run_per_node(
             probe, algorithm_factory, inputs, max_rounds, strict, debug
         )
@@ -259,10 +340,11 @@ class SynchronousSimulator:
     def _run_batched(
         self,
         program: BatchNodeAlgorithm,
-        inputs: Mapping[Vertex, Any] | None,
+        inputs: Mapping[Vertex, Any] | Any | None,
         max_rounds: int,
         strict: bool,
         debug: bool = False,
+        reference_exchange: bool = False,
     ) -> SimulationResult:
         network = self.network
         fabric = network.fabric
@@ -270,12 +352,10 @@ class SynchronousSimulator:
 
         context: BatchContext | None = None
         if fabric.has_numpy:
-            import numpy as np
-
             context = BatchContext(
                 n=fabric.n,
-                identifiers=np.asarray(network.identifiers_list, dtype=np.int64),
-                degrees=np.asarray(fabric.degrees, dtype=np.int64),
+                identifiers=network.identifiers_np,
+                degrees=fabric.degrees_np,
                 offsets=fabric.offsets_np,
                 endpoints=fabric.endpoints_np,
                 reverse_slot=fabric.reverse_np,
@@ -296,9 +376,27 @@ class SynchronousSimulator:
                 factory(), factory, inputs, max_rounds, strict, debug
             )
 
+        import numpy as np
+
         reverse = fabric.reverse_np
+        endpoints = fabric.endpoints_np
+        sources = fabric.sources_np()
         num_slots = fabric.num_slots
         labels = network.labels
+        mode = type(program).exchange_mode
+        receive_broadcast = (
+            getattr(program, "receive_broadcast", None)
+            if mode == "broadcast" and not reference_exchange
+            else None
+        )
+        receive_active = (
+            getattr(program, "receive_active", None) if mode == "active" else None
+        )
+        # preallocated inbox buffers, reused across rounds (the fused
+        # kernels fill them in place; programs must not retain references
+        # past their receive call)
+        inbox_buf = np.empty(num_slots, dtype=np.int64)
+        delivered_buf = np.empty(num_slots, dtype=np.bool_)
         program.initialize_batch(context)
 
         total_messages = 0
@@ -314,7 +412,7 @@ class SynchronousSimulator:
                     )
                 return SimulationResult(
                     rounds=rounds,
-                    outputs=dict(zip(labels, program.results_batch())),
+                    outputs=LazyOutputs(labels, program.results_batch()),
                     messages_sent=total_messages,
                     finished=False,
                     per_round_messages=per_round,
@@ -322,26 +420,45 @@ class SynchronousSimulator:
             rounds += 1
             sent = program.send_batch(rounds)
             if sent is None:
-                inbox = delivered = None
                 round_messages = 0
+                if receive_active is not None:
+                    receive_active(rounds, None, None)
+                else:
+                    program.receive_batch(rounds, None, None)
+            elif mode == "broadcast":
+                # sources[reverse_slot] == endpoints: the send-gather and
+                # the reverse permutation fuse into one endpoint gather
+                round_messages = num_slots
+                if receive_broadcast is not None:
+                    receive_broadcast(rounds, sent)
+                else:
+                    if reference_exchange:
+                        inbox = kernels.reference_broadcast(sent, sources, reverse)
+                    else:
+                        inbox = kernels.gather(sent, endpoints, out=inbox_buf)
+                    program.receive_batch(rounds, inbox, None)
+            elif mode == "active":
+                slots, values = sent
+                round_messages = len(slots)
+                # the message sent from slot s arrives at slot reverse[s]
+                receive_active(rounds, reverse[slots], values)
             elif isinstance(sent, tuple):
                 values, mask = sent
-                # reverse_slot is an involution: the message arriving at
-                # slot k is the one sent from slot reverse_slot[k]
-                inbox = values[reverse]
-                delivered = mask[reverse]
-                round_messages = int(mask.sum())
+                inbox, delivered, round_messages = kernels.deliver_masked(
+                    values, mask, reverse,
+                    inbox_out=inbox_buf, delivered_out=delivered_buf,
+                )
+                program.receive_batch(rounds, inbox, delivered)
             else:
-                inbox = sent[reverse]
-                delivered = None
+                inbox = kernels.deliver_slots(sent, reverse, out=inbox_buf)
                 round_messages = num_slots
-            program.receive_batch(rounds, inbox, delivered)
+                program.receive_batch(rounds, inbox, None)
             total_messages += round_messages
             per_round.append(round_messages)
 
         return SimulationResult(
             rounds=rounds,
-            outputs=dict(zip(labels, program.results_batch())),
+            outputs=LazyOutputs(labels, program.results_batch()),
             messages_sent=total_messages,
             finished=True,
             per_round_messages=per_round,
@@ -351,12 +468,13 @@ class SynchronousSimulator:
 def run_node_algorithm(
     graph: GraphLike,
     algorithm_factory: Callable[[], NodeAlgorithm | BatchNodeAlgorithm],
-    inputs: Mapping[Vertex, Any] | None = None,
+    inputs: Mapping[Vertex, Any] | Any | None = None,
     max_rounds: int = 10_000,
     strict: bool = False,
     *,
     network: Network | None = None,
     debug: bool = False,
+    reference_exchange: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build the network and run the algorithm.
 
@@ -377,4 +495,5 @@ def run_node_algorithm(
         max_rounds=max_rounds,
         strict=strict,
         debug=debug,
+        reference_exchange=reference_exchange,
     )

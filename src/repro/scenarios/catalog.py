@@ -127,7 +127,7 @@ def _build_theorem13_rounds(params: Params, profile: bool) -> list[BatchTask]:
 
 
 def _round_series(
-    runner: ExperimentRunner, backend: str = "dict"
+    runner: ExperimentRunner, backend: str = "flat"
 ) -> tuple[list[int], list[int]]:
     label = _backend_label("thm1.3 (paper radius)", backend)
     return (
@@ -683,6 +683,14 @@ _SIM_ALGORITHMS = (
 )
 
 
+#: the Ω(n) lower-bound workload runs on the batched engine only: its round
+#: count *is* n, and the per-node engines spend Θ(n) per round polling
+#: silent nodes — Θ(n²) total — while the batched program's sparse
+#: ``"active"`` exchange does O(frontier) work per round.  Cross-engine
+#: parity for the wave protocol is pinned at small n by the test suite.
+_SIM_WAVE_LABEL = "2-coloring wave (Omega n)"
+
+
 def _build_simulator(params: Params, profile: bool) -> list[BatchTask]:
     built = []
     for key, topology, label in _SIM_ALGORITHMS:
@@ -695,6 +703,14 @@ def _build_simulator(params: Params, profile: bool) -> list[BatchTask]:
                     kwargs={"id_seed": params["id_seed"], "profile": profile},
                     seed_arg=None,
                 ))
+    for n in params["lowerbound_sizes"]:
+        built.append(BatchTask(
+            f"path n={n}", f"{_SIM_WAVE_LABEL} [batch]",
+            tasks.simulator_throughput,
+            args=(n, "path", "wave", "batch"),
+            kwargs={"id_seed": params["id_seed"], "profile": profile},
+            seed_arg=None,
+        ))
     return built
 
 
@@ -744,6 +760,21 @@ def _check_simulator(runner: ExperimentRunner, params: Params) -> list[str]:
             f"batched Cole-Vishkin speedup {recorded}x at n={largest} "
             f"below the {target}x target"
         )
+    # the Ω(n) signature of the wave rows: exactly n rounds and one
+    # broadcast per node (2(n-1) directed messages on a path)
+    for row in runner.rows:
+        if not row.algorithm.startswith(_SIM_WAVE_LABEL):
+            continue
+        n = row.metrics.get("n")
+        if row.metrics.get("rounds") != n:
+            failures.append(
+                f"{row.instance}: wave rounds {row.metrics.get('rounds')} != n={n}"
+            )
+        if n and row.metrics.get("messages") != 2 * (n - 1):
+            failures.append(
+                f"{row.instance}: wave messages {row.metrics.get('messages')} "
+                f"!= 2(n-1)={2 * (n - 1)}"
+            )
     return failures
 
 
@@ -756,14 +787,22 @@ register(Scenario(
         "Cole-Vishkin (rooted path) and the greedy baseline (ring, random "
         "identifiers): the dict-routed seed engine against the flat-array "
         "per-node engine and the vectorized batched protocol, with "
-        "cross-engine round/message parity checked on every instance."
+        "cross-engine round/message parity checked on every instance.  "
+        "The fused batched engine additionally runs the wave 2-coloring "
+        "lower-bound workload (Observation 2.4: exactly n rounds on a "
+        "rooted path) at n=10^5 — an Omega(n)-round simulation made "
+        "tractable by the sparse active-set exchange mode."
     ),
     build_tasks=_build_simulator,
-    defaults={"sizes": (10_000, 100_000), "engines": _SIM_ENGINES, "id_seed": 7},
-    smoke_overrides={"sizes": (1_500,)},
+    defaults={
+        "sizes": (10_000, 100_000), "lowerbound_sizes": (100_000,),
+        "engines": _SIM_ENGINES, "id_seed": 7,
+    },
+    smoke_overrides={"sizes": (1_500,), "lowerbound_sizes": (1_500,)},
     reference={
         "parity": "identical rounds/messages on all engines",
         "speedup": ">= 5x rounds/sec for batched Cole-Vishkin at n=10^5",
+        "lower bound": "wave 2-coloring spends exactly n rounds at n=10^5",
     },
     size_param="sizes",
     serial_only=True,

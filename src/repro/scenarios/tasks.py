@@ -80,7 +80,7 @@ from repro.scenarios.base import StageProfile
 # ---------------------------------------------------------------------------
 
 def theorem13_colors(
-    n: int, d: int, variant: str, backend: str = "dict",
+    n: int, d: int, variant: str, backend: str = "flat",
     seed: int | None = None, profile: bool = False,
 ) -> dict[str, Any]:
     """d-list-color a bounded-mad graph; ``variant``: uniform/random/greedy.
@@ -130,7 +130,7 @@ def theorem13_colors(
 # ---------------------------------------------------------------------------
 
 def theorem13_rounds(
-    n: int, d: int, backend: str = "dict",
+    n: int, d: int, backend: str = "flat",
     seed: int | None = None, profile: bool = False,
 ) -> dict[str, Any]:
     """Charged rounds of the Theorem 1.3 driver on a union of forests."""
@@ -216,7 +216,7 @@ def coloring_pipeline(
 # ---------------------------------------------------------------------------
 
 def corollary14_arboricity(
-    n: int, arboricity: int, algorithm: str, backend: str = "dict",
+    n: int, arboricity: int, algorithm: str, backend: str = "flat",
     seed: int | None = None, profile: bool = False,
 ) -> dict[str, Any]:
     """Color a union of ``arboricity`` forests; ``algorithm``: ours/barenboim-elkin.
@@ -588,11 +588,17 @@ def simulator_throughput(
     reference engine (:mod:`repro.local.reference`), ``flat`` the
     flat-array per-node engine and ``batch`` the vectorized
     :class:`~repro.local.node.BatchNodeAlgorithm` path.  ``algorithm`` is
-    ``cole-vishkin`` (rooted path) or ``greedy`` (ring with identifiers
+    ``cole-vishkin`` (rooted path), ``greedy`` (ring with identifiers
     shuffled by ``id_seed`` so the decreasing-id chains stay logarithmic
-    and every engine sees the same instance).  The network and its routing
-    fabric are built during the ``freeze`` stage, so ``engine_seconds``
-    measures pure round throughput.
+    and every engine sees the same instance) or ``wave`` (rooted-path
+    2-coloring whose round count is exactly ``n`` — the Ω(n) lower-bound
+    workload; its batched program runs in the sparse ``"active"``
+    exchange mode so large ``n`` stays tractable).  The network and its
+    routing fabric are built during the ``freeze`` stage, so
+    ``engine_seconds`` measures pure round throughput.  The batched
+    engine receives index-aligned ndarray inputs (zero-copy through
+    ``Network.inputs_list``); the per-node engines take the equivalent
+    dict.
     """
     import random
 
@@ -605,9 +611,12 @@ def simulator_throughput(
         BatchGreedyLocalMaximaAlgorithm,
         GreedyLocalMaximaAlgorithm,
     )
+    from repro.distributed.wave import BatchWaveTwoColoring, WaveTwoColoring
     from repro.local.network import Network
     from repro.local.reference import ReferenceSimulator
     from repro.local.simulator import SynchronousSimulator
+
+    import numpy as np
 
     prof = StageProfile(profile)
     with prof("generate"):
@@ -626,24 +635,49 @@ def simulator_throughput(
         else:
             network = Network(frozen)
         network.fabric  # build the routing table outside the timed engine run
+        network.identifiers_np  # ... the identifier array the batch engine reads
         network.ports  # ... and the dict views the seed engine routes through
         network.port_of
     if algorithm == "cole-vishkin":
-        # rooted path: parent of vertex i is i - 1
-        inputs = {
-            v: None if v == 0 else network.identifier_of[v - 1] for v in frozen
-        }
+        # rooted path: parent of vertex i is i - 1; identifier 0 does not
+        # exist, so it doubles as the batched "no parent" sentinel
+        inputs: Any
+        if engine == "batch":
+            inputs = np.concatenate(
+                ([0], network.identifiers_np[:-1])
+            ) if n else np.zeros(0, dtype=np.int64)
+        else:
+            inputs = {
+                v: None if v == 0 else network.identifier_of[v - 1]
+                for v in frozen
+            }
         per_node: Any = ColeVishkinForestColoring
         batched: Any = BatchColeVishkinForestColoring
         max_rounds = 10 * cole_vishkin_iterations(n) + 30
         palette = 3
     elif algorithm == "greedy":
         delta = max(1, frozen.max_degree())
-        inputs = {v: delta for v in frozen}
+        if engine == "batch":
+            inputs = np.full(n, delta, dtype=np.int64)
+        else:
+            inputs = {v: delta for v in frozen}
         per_node = GreedyLocalMaximaAlgorithm
         batched = BatchGreedyLocalMaximaAlgorithm
         max_rounds = n + 2
         palette = delta + 1
+    elif algorithm == "wave":
+        if topology != "path":
+            raise ValueError("the wave workload runs on the path topology")
+        if engine == "batch":
+            inputs = np.zeros(n, dtype=np.int64)
+            if n:
+                inputs[0] = 1
+        else:
+            inputs = {v: v == 0 for v in frozen}
+        per_node = WaveTwoColoring
+        batched = BatchWaveTwoColoring
+        max_rounds = n + 2
+        palette = 2
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
 
@@ -669,7 +703,13 @@ def simulator_throughput(
 
         assert result.finished
         outputs = result.outputs
-        offset = 0 if algorithm == "cole-vishkin" else 1
+        offset = 1 if algorithm == "greedy" else 0
+        if algorithm == "wave" and n:
+            # the Ω(n) lower-bound signature: the wavefront advances one
+            # hop per round, so a rooted path needs exactly n rounds and
+            # one broadcast per node
+            assert result.rounds == n, (result.rounds, n)
+            assert result.messages_sent == 2 * (n - 1)
         ProperColoringOracle().check(
             graph=frozen, coloring=outputs
         ).raise_if_failed()
