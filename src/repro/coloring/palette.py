@@ -243,9 +243,17 @@ class FlatListAssignment:
     def size_of(self, v: Vertex) -> int:
         return self.mask_of(v).bit_count()
 
-    def minimum_size(self) -> int:
+    def minimum_size(self, default: int = 0) -> int:
+        """Smallest list size, or ``default`` for a zero-vertex assignment.
+
+        A minimum over no vertices is vacuous, so degenerate instances
+        (empty corpus graphs) let the caller pick the identity their
+        precondition needs — e.g. the Moser–Tardos sampler asks for
+        ``minimum_size(default=1) >= 1`` so a zero-vertex run passes
+        while a genuinely empty list still fails.
+        """
         if not self._masks:
-            return 0
+            return default
         return min(m.bit_count() for m in self._masks)
 
     def palette(self) -> frozenset[Color]:
@@ -414,6 +422,13 @@ class FlatListAssignment:
         some vertex has no color left (the caller names the invariant
         that broke).
         """
+        if len(vertices) != len(used_masks):
+            # both code paths must reject this the same way: the scalar
+            # zip would silently truncate, the packed path would die in a
+            # shape broadcast — neither is a usable contract
+            raise ListAssignmentError(
+                f"{len(vertices)} vertices but {len(used_masks)} used masks"
+            )
         color_of = self.universe.color_of
         if HAS_NUMPY and len(vertices) >= self._VECTORIZE_BATCH:
             rows = self.rows_for(vertices)

@@ -54,6 +54,17 @@ from repro.distributed.linial import (
     delta_plus_one_coloring,
     linial_schedule,
 )
+from repro.distributed.randomized import (
+    BatchRandomizedDeltaPlusOne,
+    MoserTardosResult,
+    RandomizedColoringResult,
+    RandomizedDeltaPlusOne,
+    ResampleStep,
+    counter_rng,
+    moser_tardos_list_coloring,
+    randomized_delta_plus_one_coloring,
+    resample_log_digest,
+)
 from repro.distributed.ruling import RulingForest, ruling_forest, ruling_set
 
 __all__ = [
@@ -79,6 +90,15 @@ __all__ = [
     "LinialColoringAlgorithm",
     "delta_plus_one_coloring",
     "linial_schedule",
+    "BatchRandomizedDeltaPlusOne",
+    "MoserTardosResult",
+    "RandomizedColoringResult",
+    "RandomizedDeltaPlusOne",
+    "ResampleStep",
+    "counter_rng",
+    "moser_tardos_list_coloring",
+    "randomized_delta_plus_one_coloring",
+    "resample_log_digest",
     "RulingForest",
     "ruling_forest",
     "ruling_set",

@@ -1265,6 +1265,152 @@ register(Scenario(
 
 
 # ---------------------------------------------------------------------------
+# E19 — randomized (Moser–Tardos lists + O(log n) randomized Δ+1)
+# ---------------------------------------------------------------------------
+
+def _build_randomized(params: Params, profile: bool) -> list[BatchTask]:
+    built = []
+    for family in params["families"]:
+        for n in params["sizes"]:
+            instance = f"{family} n={n}"
+            # seed_group = instance: both engines (and the deterministic
+            # comparators) draw the same derived seed, so the randomized
+            # rows must replay the identical run and the deterministic
+            # rows color the identical graph
+            for engine in params["engines"]:
+                built.append(BatchTask(
+                    instance, f"randomized Delta+1 [{engine}]",
+                    tasks.randomized_delta_plus_one,
+                    args=(family, n, engine),
+                    kwargs={"profile": profile},
+                    seed_group=instance,
+                ))
+            for deterministic in params["deterministic"]:
+                built.append(BatchTask(
+                    instance, f"{deterministic} Delta+1 [batch]",
+                    tasks.deterministic_delta_plus_one,
+                    args=(family, n, deterministic),
+                    kwargs={"profile": profile},
+                    seed_group=instance,
+                ))
+        for n in params["mt_sizes"]:
+            instance = f"{family} lists n={n}"
+            for backend in params["backends"]:
+                built.append(BatchTask(
+                    instance, f"Moser-Tardos lists [{backend}]",
+                    tasks.moser_tardos_lists,
+                    args=(family, n, backend),
+                    kwargs={"profile": profile},
+                    seed_group=instance,
+                ))
+    return built
+
+
+#: per-row metrics that must be bit-identical across the engine/backend axis
+_RANDOMIZED_PARITY = ("coloring_sha", "rounds", "messages", "colors", "log_sha")
+
+
+def _check_randomized(runner: ExperimentRunner, params: Params) -> list[str]:
+    failures = []
+    groups: dict[tuple[str, str], list] = {}
+    for row in runner.rows:
+        m = row.metrics
+        if "frontier_monotone" in m and not m["frontier_monotone"]:
+            failures.append(
+                f"{row.instance} / {row.algorithm}: uncolored frontier grew"
+            )
+        if m.get("colors", 0) > m.get("budget", float("inf")):
+            failures.append(
+                f"{row.instance} / {row.algorithm}: palette budget exceeded"
+            )
+        base = row.algorithm.split(" [", 1)[0]
+        groups.setdefault((row.instance, base), []).append(row)
+    # the randomized parity contract: the same (seed, instance) replays
+    # bit-for-bit on every engine — colorings, rounds, messages, logs
+    for (instance, base), members in groups.items():
+        if len(members) < 2:
+            continue
+        for metric in _RANDOMIZED_PARITY:
+            values = {
+                r.algorithm: r.metrics.get(metric)
+                for r in members
+                if metric in r.metrics
+            }
+            if len(set(map(repr, values.values()))) > 1:
+                failures.append(
+                    f"{instance} / {base}: {metric} diverges across "
+                    f"engines ({values})"
+                )
+    return failures
+
+
+def _finalize_randomized(runner: ExperimentRunner, params: Params) -> None:
+    randomized_rounds = [
+        row.metrics["rounds"]
+        for row in runner.rows
+        if row.algorithm.startswith("randomized") and "rounds" in row.metrics
+    ]
+    if randomized_rounds:
+        runner.metadata["randomized_rounds_max"] = max(randomized_rounds)
+    resamples = [
+        row.metrics["resamples"]
+        for row in runner.rows
+        if "resamples" in row.metrics
+    ]
+    if resamples:
+        runner.metadata["moser_tardos_resamples_max"] = max(resamples)
+    runner.metadata["rng"] = "philox4x64 keyed by (seed, node_id, round)"
+
+
+register(Scenario(
+    name="randomized",
+    title="E19 randomized track — Moser-Tardos lists + O(log n) randomized Delta+1",
+    paper_ref=(
+        "PAPERS.md: A local lemma via entropy compression "
+        "(Alves-Procacci-Sanchis); randomized counterpart to Theorem 1.3"
+    ),
+    description=(
+        "The randomized counterpart to the deterministic pipeline, on the "
+        "fused active-mode engine: the trial-color + conflict-retreat "
+        "randomized (Delta+1)-coloring (batch and per-node rows) against "
+        "the deterministic greedy and Linial baselines on the same "
+        "generated graphs, plus the Moser-Tardos entropy-compression "
+        "resampler for list coloring (flat and dict backends).  All "
+        "randomness is counter-based (Philox keyed by seed, node id and "
+        "round), so every engine must replay the identical run: the "
+        "variant-parity and scenario checks compare colorings, rounds, "
+        "messages and resample-log digests fingerprint-for-fingerprint, "
+        "the RandomizedRoundsOracle holds round totals inside the O(log n) "
+        "concentration envelope, and every Moser-Tardos row replays its "
+        "record log through the ResampleLogOracle before it is written."
+    ),
+    build_tasks=_build_randomized,
+    defaults={
+        "families": ("regular", "forest-union", "planar"),
+        "sizes": (400, 1600),
+        "mt_sizes": (300, 900),
+        "engines": ("batch", "flat"),
+        "backends": ("flat", "dict"),
+        "deterministic": ("greedy", "linial"),
+    },
+    smoke_overrides={
+        "families": ("regular",),
+        "sizes": (120,),
+        "mt_sizes": (90,),
+        "deterministic": ("greedy",),
+    },
+    reference={
+        "rounds": "randomized Delta+1 finishes in O(log n) rounds whp",
+        "witness": "every resample log replays bit-for-bit from its seed",
+        "parity": "identical runs on batch/flat engines and flat/dict backends",
+    },
+    size_param="sizes",
+    finalize=_finalize_randomized,
+    check=_check_randomized,
+))
+
+
+# ---------------------------------------------------------------------------
 # Campaigns: named scenario sets for `python -m repro campaign`
 # ---------------------------------------------------------------------------
 

@@ -1056,3 +1056,186 @@ def dynamic_recovery(
         "solve_seconds": round(elapsed, 6),
         **prof.metrics(),
     }
+
+
+# ---------------------------------------------------------------------------
+# E19 — randomized track (Moser–Tardos lists + randomized Δ+1)
+# ---------------------------------------------------------------------------
+
+def randomized_delta_plus_one(
+    family: str,
+    n: int,
+    engine: str,
+    seed: int | None = None,
+    profile: bool = False,
+) -> dict[str, Any]:
+    """One randomized (Δ+1)-coloring row on the ``batch`` or ``flat`` engine.
+
+    The run is audited in-process before its row is written: the
+    :class:`~repro.verify.randomized.RandomizedRoundsOracle` checks the
+    uncolored-frontier trace (non-increasing, drains to zero) against the
+    O(log n) concentration envelope, and the coloring itself must be
+    proper and inside the Δ+1 budget.  ``coloring_sha`` plus the
+    rounds/messages metrics feed the artifact-level variant-parity
+    oracle: both engines must replay the identical run bit for bit
+    (``seed_group`` hands them the same derived seed).
+    """
+    from repro.distributed.randomized import randomized_delta_plus_one_coloring
+    from repro.local.network import Network
+    from repro.verify import PaletteBudgetOracle, ProperColoringOracle
+    from repro.verify.randomized import RandomizedRoundsOracle
+
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = _lemma_family_graph(family, n, seed)
+    with prof("freeze"):
+        frozen = graph.freeze()
+        network = Network(frozen)
+        network.fabric  # build the routing table outside the timed run
+    with prof("solve"):
+        start = time.perf_counter()
+        result = randomized_delta_plus_one_coloring(
+            frozen,
+            seed=seed if seed is not None else 0,
+            batched=engine == "batch",
+            network=network,
+        )
+        elapsed = time.perf_counter() - start
+    with prof("verify"):
+        vertices = frozen.number_of_vertices()
+        RandomizedRoundsOracle().check(
+            n=vertices, rounds=result.rounds, frontier=result.frontier
+        ).raise_if_failed()
+        ProperColoringOracle().check(
+            graph=frozen, coloring=result.coloring
+        ).raise_if_failed()
+        PaletteBudgetOracle().check(
+            coloring=result.coloring, budget=result.palette_size
+        ).raise_if_failed()
+    return {
+        "n": vertices,
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "colors": len(set(result.coloring.values())),
+        "budget": result.palette_size,
+        "frontier_rounds": len(result.frontier),
+        "frontier_monotone": all(
+            result.frontier[i + 1] <= result.frontier[i]
+            for i in range(len(result.frontier) - 1)
+        ),
+        "coloring_sha": _coloring_digest(result.coloring),
+        "solve_seconds": round(elapsed, 6),
+        **prof.metrics(),
+    }
+
+
+def deterministic_delta_plus_one(
+    family: str,
+    n: int,
+    algorithm: str,
+    seed: int | None = None,
+    profile: bool = False,
+) -> dict[str, Any]:
+    """The deterministic comparator row: greedy or Linial (Δ+1)-coloring.
+
+    Shares the randomized rows' ``seed_group``, so it colors the *same*
+    generated graph — the randomized-vs-deterministic rounds/colors
+    comparison in ``BENCH_randomized.json`` is like for like.
+    """
+    from repro.distributed.greedy_baseline import greedy_distributed_coloring
+    from repro.distributed.linial import delta_plus_one_coloring
+    from repro.local.network import Network
+    from repro.verify import PaletteBudgetOracle, ProperColoringOracle
+
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = _lemma_family_graph(family, n, seed)
+    with prof("freeze"):
+        frozen = graph.freeze()
+        network = Network(frozen)
+        network.fabric
+    with prof("solve"):
+        start = time.perf_counter()
+        if algorithm == "greedy":
+            result = greedy_distributed_coloring(
+                frozen, batched=True, network=network
+            )
+        elif algorithm == "linial":
+            result = delta_plus_one_coloring(frozen, batched=True)
+        else:
+            raise ValueError(f"unknown deterministic algorithm {algorithm!r}")
+        elapsed = time.perf_counter() - start
+    with prof("verify"):
+        ProperColoringOracle().check(
+            graph=frozen, coloring=result.coloring
+        ).raise_if_failed()
+        PaletteBudgetOracle().check(
+            coloring=result.coloring, budget=result.palette_size
+        ).raise_if_failed()
+    return {
+        "n": frozen.number_of_vertices(),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "colors": len(set(result.coloring.values())),
+        "budget": result.palette_size,
+        "coloring_sha": _coloring_digest(result.coloring),
+        "solve_seconds": round(elapsed, 6),
+        **prof.metrics(),
+    }
+
+
+def moser_tardos_lists(
+    family: str,
+    n: int,
+    backend: str,
+    seed: int | None = None,
+    profile: bool = False,
+) -> dict[str, Any]:
+    """One Moser–Tardos list-coloring row on the flat or dict backend.
+
+    Per-vertex lists are distinct sliding windows of ``2Δ+2`` colors over
+    a ``4Δ+4`` universe — a genuine list-coloring instance with enough
+    LLL slack for the resampler to converge quickly.  The verify stage
+    replays the entropy-compression record log through the
+    :class:`~repro.verify.randomized.ResampleLogOracle`, so a row only
+    exists if its witness survives the replay audit; ``log_sha`` and
+    ``coloring_sha`` feed the cross-backend parity check.
+    """
+    from repro.distributed.randomized import moser_tardos_list_coloring
+    from repro.verify.randomized import ResampleLogOracle
+
+    prof = StageProfile(profile)
+    with prof("generate"):
+        graph = _lemma_family_graph(family, n, seed)
+        frozen = graph.freeze()
+        delta = max(1, frozen.max_degree())
+        universe = 4 * delta + 4
+        width = 2 * delta + 2
+        lists = {
+            v: [((i * 3 + j) % universe) + 1 for j in range(width)]
+            for i, v in enumerate(frozen.vertices())
+        }
+    with prof("solve"):
+        start = time.perf_counter()
+        result = moser_tardos_list_coloring(
+            frozen, lists,
+            seed=seed if seed is not None else 0,
+            backend=backend,
+        )
+        elapsed = time.perf_counter() - start
+    with prof("verify"):
+        ResampleLogOracle().check(
+            graph=frozen, lists=lists, seed=result.seed,
+            log=result.log, coloring=result.coloring, backend=backend,
+        ).raise_if_failed()
+    return {
+        "n": frozen.number_of_vertices(),
+        "resamples": result.steps,
+        "colors": len(set(result.coloring.values())),
+        "budget": universe,
+        "list_size": width,
+        "log_sha": result.log_digest(),
+        "coloring_sha": _coloring_digest(result.coloring),
+        "solve_seconds": round(elapsed, 6),
+        **prof.metrics(),
+    }

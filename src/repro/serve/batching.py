@@ -50,6 +50,8 @@ class MicroBatcher:
         #: keys queued for the next flush, in arrival order
         self._queue: list[tuple[str, JobSpec]] = []
         self._flush_handle: asyncio.TimerHandle | None = None
+        #: strong refs to in-flight batch tasks (the loop only keeps weak ones)
+        self._tasks: set[asyncio.Task] = set()
         # stats
         self.batches = 0
         self.batched_jobs = 0
@@ -87,20 +89,39 @@ class MicroBatcher:
         self.batches += 1
         self.batched_jobs += len(batch)
         self.max_batch_size = max(self.max_batch_size, len(batch))
-        asyncio.get_running_loop().create_task(self._run(batch))
+        task = asyncio.get_running_loop().create_task(self._run(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def _fail_batch(self, batch: list[tuple[str, JobSpec]], exc: Exception) -> None:
+        """Reject every still-unresolved waiter of a failed batch.
+
+        Every key of the batch is also evicted from ``_pending`` so the
+        next request retries instead of awaiting a dead future.
+        """
+        for key, _spec in batch:
+            future = self._pending.pop(key, None)
+            if future is not None and not future.done():
+                future.set_exception(exc)
 
     async def _run(self, batch: list[tuple[str, JobSpec]]) -> None:
         loop = asyncio.get_running_loop()
         specs = [spec for _key, spec in batch]
         try:
-            payloads = await loop.run_in_executor(
-                None, lambda: self._execute(specs, workers=self.workers)
+            # materialize eagerly: a lazy iterable from ``execute`` must
+            # raise here, inside the guard, not while distributing below
+            payloads = list(
+                await loop.run_in_executor(
+                    None, lambda: self._execute(specs, workers=self.workers)
+                )
             )
+            if len(payloads) != len(batch):
+                raise RuntimeError(
+                    f"executor returned {len(payloads)} payload(s) "
+                    f"for a batch of {len(batch)}"
+                )
         except Exception as exc:  # noqa: BLE001 - executor must not sink futures
-            for key, _spec in batch:
-                future = self._pending.pop(key, None)
-                if future is not None and not future.done():
-                    future.set_exception(exc)
+            self._fail_batch(batch, exc)
             return
         for (key, _spec), payload in zip(batch, payloads):
             future = self._pending.pop(key, None)

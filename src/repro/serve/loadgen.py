@@ -137,10 +137,24 @@ async def _client_body(
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
-    if not sorted_values:
+    """Linear-interpolation percentile (numpy's default convention).
+
+    ``q`` is a fraction in [0, 1].  An empty sample reports 0.0 (smoke
+    runs can legitimately record no latencies) and a single sample is its
+    own percentile for every ``q`` — neither may raise.
+    """
+    count = len(sorted_values)
+    if count == 0:
         return 0.0
-    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
-    return sorted_values[index]
+    if count == 1:
+        return float(sorted_values[0])
+    position = min(max(q, 0.0), 1.0) * (count - 1)
+    lower = int(position)
+    upper = min(lower + 1, count - 1)
+    fraction = position - lower
+    return float(
+        sorted_values[lower] * (1.0 - fraction) + sorted_values[upper] * fraction
+    )
 
 
 async def run_load(

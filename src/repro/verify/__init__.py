@@ -47,6 +47,7 @@ from repro.verify.locality import (
     LocalityViolation,
     audit_locality,
 )
+from repro.verify.randomized import RandomizedRoundsOracle, ResampleLogOracle
 from repro.verify.recovery import (
     ContainmentOracle,
     RecoveryOracle,
@@ -84,6 +85,8 @@ __all__ = [
     "LocalityAuditReport",
     "LocalityViolation",
     "audit_locality",
+    "RandomizedRoundsOracle",
+    "ResampleLogOracle",
     "RecoveryOracle",
     "ContainmentOracle",
     "measure_containment",

@@ -198,6 +198,14 @@ def _envelope_for(
         if n is None or "budget" not in metrics:
             return None
         return "theorem13", {"n": n, "d": max(3, int(metrics["budget"]))}
+    if scenario == "randomized":
+        if n is None:
+            return None
+        if algorithm.startswith("randomized"):
+            return "randomized", {"n": n}
+        if algorithm.startswith("greedy"):
+            return "greedy", {"n": n}
+        return None
     return None
 
 

@@ -83,6 +83,15 @@ def _ruling_forest(n: int, alpha: int = 2, **_ignored) -> int:
     return alpha * bits + 4 * alpha * bits + 4  # probes + tree growth slack
 
 
+def _randomized(n: int, **_ignored) -> int:
+    # trial-color + conflict-retreat (Δ+1): each uncolored vertex keeps
+    # its draw with probability >= 1/4 per round, so the frontier decays
+    # geometrically and O(log n) rounds suffice whp; the constant leaves
+    # a wide concentration margin, plus slack for the final-broadcast
+    # round and tiny-n noise
+    return 16 * _log2ceil(n) + 48
+
+
 ENVELOPES = {
     "theorem13": _theorem13,
     "cole-vishkin": _cole_vishkin,
@@ -90,6 +99,7 @@ ENVELOPES = {
     "barenboim-elkin": _barenboim_elkin,
     "greedy": _greedy,
     "ruling-forest": _ruling_forest,
+    "randomized": _randomized,
 }
 
 

@@ -12,6 +12,8 @@ cases.
 
 import random
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -281,3 +283,32 @@ def test_verification_fast_paths(seed):
     outside = dict(coloring)
     outside[u] = "not-a-color"
     assert not respects_lists(outside, lists)
+
+
+def test_minimum_size_default_on_empty_assignment():
+    """A zero-vertex assignment has a vacuous minimum: the caller picks it.
+
+    The Moser-Tardos precondition uses ``minimum_size(default=1) >= 1``
+    so an empty graph passes while any genuinely empty list still fails.
+    """
+    empty = FlatListAssignment({})
+    assert empty.minimum_size() == 0
+    assert empty.minimum_size(default=5) == 5
+    assert empty.minimum_size(default=1) == 1
+
+
+def test_first_free_colors_length_mismatch_raises_both_paths():
+    from repro.errors import ListAssignmentError
+
+    lists = {v: list(range(1, 8)) for v in range(40)}
+    flat = FlatListAssignment(lists)
+    few = list(range(4))          # scalar path (< 32 vertices)
+    many = list(range(40))        # packed/vectorized path (>= 32)
+    # pre-fix, the scalar path silently zip-truncated the extra masks and
+    # the vectorized path died on an opaque broadcast ValueError
+    with pytest.raises(ListAssignmentError, match="used masks"):
+        flat.first_free_colors(few, [0] * 3)
+    with pytest.raises(ListAssignmentError, match="used masks"):
+        flat.first_free_colors(few, [0] * 5)
+    with pytest.raises(ListAssignmentError, match="used masks"):
+        flat.first_free_colors(many, [0] * 39)

@@ -42,8 +42,10 @@ from repro.serve import (
     ServeDeadlineError,
     ServeResponseError,
 )
+from repro.serve.batching import MicroBatcher
 from repro.serve.cache import ResultCache
 from repro.serve.executor import JobSpec, compute_job, execute_jobs
+from repro.serve.loadgen import _percentile
 from repro.serve.protocol import ServeError, canonical_params, encode_line
 from repro.verify.coloring import PaletteBudgetOracle, ProperColoringOracle
 
@@ -644,3 +646,101 @@ def test_canonical_params_rejects_non_scalars_and_sorts_keys():
         canonical_params({"d": [1]})
     with pytest.raises(ServeError):
         canonical_params("d=3")
+
+
+# ---------------------------------------------------------------------------
+# micro-batcher failure semantics: a raising executor must reject, not hang
+# ---------------------------------------------------------------------------
+
+class _Boom(RuntimeError):
+    pass
+
+
+def _lazily_raising_executor(specs, workers=1):
+    """A generator whose first ``next()`` raises — the shape that used to
+    slip past the old ``try`` (the exception fired while *zipping* the
+    results to futures, after the guard) and hang every waiter."""
+    def gen():
+        raise _Boom("pool fell over")
+        yield  # pragma: no cover - unreachable, makes this a generator
+    return gen()
+
+
+def _short_executor(specs, workers=1):
+    return [{"ok": True}]  # one payload, regardless of batch size
+
+
+def _dummy_spec() -> JobSpec:
+    return JobSpec(handle=None, algorithm="greedy", params={})
+
+
+def test_microbatcher_raising_executor_rejects_both_waiters():
+    async def scenario():
+        batcher = MicroBatcher(
+            window_seconds=0.001, max_batch=8, execute=_lazily_raising_executor
+        )
+        a = asyncio.ensure_future(batcher.submit("key-a", _dummy_spec()))
+        b = asyncio.ensure_future(batcher.submit("key-b", _dummy_spec()))
+        results = await asyncio.gather(a, b, return_exceptions=True)
+        assert all(isinstance(r, _Boom) for r in results)
+        # every key evicted: the next submit retries instead of awaiting
+        # the dead future of the failed batch
+        assert batcher._pending == {}
+
+    run_async(scenario(), timeout=10.0)
+
+
+def test_microbatcher_short_payload_list_rejects_whole_batch():
+    async def scenario():
+        batcher = MicroBatcher(
+            window_seconds=0.001, max_batch=8, execute=_short_executor
+        )
+        a = asyncio.ensure_future(batcher.submit("key-a", _dummy_spec()))
+        b = asyncio.ensure_future(batcher.submit("key-b", _dummy_spec()))
+        results = await asyncio.gather(a, b, return_exceptions=True)
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert all("payload" in str(r) for r in results)
+        assert batcher._pending == {}
+
+    run_async(scenario(), timeout=10.0)
+
+
+def test_microbatcher_recovers_after_failed_batch():
+    calls = []
+
+    def flaky(specs, workers=1):
+        calls.append(len(specs))
+        if len(calls) == 1:
+            raise _Boom("first batch dies")
+        return [{"ok": True} for _ in specs]
+
+    async def scenario():
+        batcher = MicroBatcher(window_seconds=0.0, max_batch=1, execute=flaky)
+        with pytest.raises(_Boom):
+            await batcher.submit("key", _dummy_spec())
+        payload = await batcher.submit("key", _dummy_spec())
+        assert payload == {"ok": True}
+        assert calls == [1, 1]
+
+    run_async(scenario(), timeout=10.0)
+
+
+# ---------------------------------------------------------------------------
+# loadgen percentile convention (linear interpolation, numpy's default)
+# ---------------------------------------------------------------------------
+
+def test_percentile_pins_linear_interpolation():
+    assert _percentile([1.0, 2.0, 3.0, 4.0], 0.50) == pytest.approx(2.5)
+    decade = [float(i) for i in range(1, 11)]
+    assert _percentile(decade, 0.95) == pytest.approx(9.55)
+    assert _percentile(decade, 0.99) == pytest.approx(9.91)
+    assert _percentile(decade, 0.0) == pytest.approx(1.0)
+    assert _percentile(decade, 1.0) == pytest.approx(10.0)
+
+
+def test_percentile_edge_cases_do_not_raise():
+    assert _percentile([], 0.5) == 0.0
+    assert _percentile([7.25], 0.99) == 7.25
+    # out-of-range q clamps instead of indexing out of bounds
+    assert _percentile([1.0, 2.0], 1.5) == 2.0
+    assert _percentile([1.0, 2.0], -0.5) == 1.0
